@@ -1,0 +1,50 @@
+"""Fast-model benchmark: whole knee surfaces in milliseconds.
+
+Quantifies what the vectorized closed-form model buys: predicting the
+full (inputs x ratios) timing surface — the data behind Figure 7 at every
+input size at once — hundreds of times faster than event simulation, at
+validated accuracy inside the paper's parameter envelope.
+"""
+
+import numpy as np
+
+from repro.analysis import GenericKernelGrid, knee_surface, predict_generic_grid
+from repro.arch import RV770
+from repro.il.types import DataType
+from repro.reporting import render_table
+
+INPUTS = np.arange(2, 34, dtype=float)
+RATIOS = np.linspace(0.25, 8.0, 32)
+
+
+def test_fastmodel_grid_throughput(benchmark):
+    grid = GenericKernelGrid(
+        inputs=INPUTS[:, np.newaxis],
+        ratios=RATIOS[np.newaxis, :],
+        dtype=DataType.FLOAT4,
+    )
+    seconds = benchmark(lambda: predict_generic_grid(RV770, grid))
+    assert seconds.shape == (len(INPUTS), len(RATIOS))
+    assert np.all(seconds > 0)
+
+    configs_per_second = seconds.size / benchmark.stats["mean"]
+    print()
+    print(
+        f"{seconds.size} configurations per call -> "
+        f"{configs_per_second:,.0f} configs/s"
+    )
+
+
+def test_fastmodel_knee_surface(benchmark):
+    knees = benchmark(
+        lambda: knee_surface(RV770, INPUTS, RATIOS, dtype=DataType.FLOAT4)
+    )
+    valid = knees[~np.isnan(knees)]
+    print()
+    rows = [
+        (f"{int(n)}", f"{k:g}" if not np.isnan(k) else ">8")
+        for n, k in zip(INPUTS[::4], knees[::4])
+    ]
+    print(render_table(("inputs", "float4 knee"), rows))
+    # the paper's invariance claim over the whole surface
+    assert valid.max() - valid.min() <= 1.0

@@ -1,0 +1,15 @@
+"""Figure 5 control — the clause-usage kernel.
+
+Same clause layout as the register-usage kernel but with all sampling up
+front: GPR usage stays constant, and so does execution time — proving
+Figure 16's gains come from register pressure, not from moving ALU
+operations across clauses ("The result was a constant execution time with
+no performance gain").
+"""
+
+
+def test_fig5_clause_usage_control(figure_bench):
+    result = figure_bench("fig5ctl")
+    for series in result.series:
+        spread = max(series.ys()) / min(series.ys())
+        assert spread < 1.02, series.label

@@ -1,0 +1,12 @@
+"""Figure 7 — ALU:Fetch Ratio for 16 Inputs (naive 64x1 compute blocks).
+
+The headline micro-benchmark: for every chip, mode and data type, sweep
+the SKA-convention ALU:Fetch ratio and find where the kernel flips from
+fetch-bound (flat) to ALU-bound (rising).  Paper knees: ~1.25 (float) and
+~5.0 (float4) in pixel mode on RV670/RV770; ~9.0 on the RV870 float4.
+"""
+
+
+def test_fig7_alu_fetch_ratio(figure_bench):
+    result = figure_bench("fig7")
+    assert len(result.series) == 10

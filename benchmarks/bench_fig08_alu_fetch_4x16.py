@@ -1,0 +1,14 @@
+"""Figure 8 — ALU:Fetch Ratio with a 4x16 compute block.
+
+The optimized two-dimensional block restores the texture cache's 2-D
+locality: RV770 float4 improves ~3x and RV870 ~4x over Figure 7's naive
+64x1 walk.
+"""
+
+from conftest import regenerate
+
+
+def test_fig8_alu_fetch_4x16(figure_bench):
+    regenerate("fig7")  # cross-figure comparisons need the naive baseline
+    result = figure_bench("fig8", expect=("fig7", "fig8"))
+    assert len(result.series) == 4  # compute mode only, 2 chips x 2 dtypes

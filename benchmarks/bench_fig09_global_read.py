@@ -1,0 +1,15 @@
+"""Figure 9 — ALU:Fetch Ratio, Global Read + Stream Write (pixel mode).
+
+Inputs come from uncached global memory instead of textures.  The RV670's
+weak uncached path makes this dramatically slower than texture fetching;
+on the RV770/RV870 it matches or beats the naive compute-mode texture
+walk.
+"""
+
+from conftest import regenerate
+
+
+def test_fig9_global_read_stream_write(figure_bench):
+    regenerate("fig7")
+    result = figure_bench("fig9", expect=("fig7", "fig9"))
+    assert len(result.series) == 6  # pixel only, 3 chips x 2 dtypes

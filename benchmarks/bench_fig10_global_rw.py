@@ -1,0 +1,15 @@
+"""Figure 10 — ALU:Fetch Ratio, Global Read + Global Write.
+
+Identical to Figure 9 except the single output also goes to global
+memory; with one output against sixteen global-read inputs the difference
+is negligible ("little difference ... between Figure 9 and Figure 10").
+"""
+
+from conftest import regenerate
+
+
+def test_fig10_global_read_global_write(figure_bench):
+    regenerate("fig9")
+    result = figure_bench("fig10", expect=("fig9", "fig10"))
+    labels = result.labels()
+    assert not any("3870" in l for l in labels)  # paper drops the RV670 here

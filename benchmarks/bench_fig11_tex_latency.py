@@ -1,0 +1,11 @@
+"""Figure 11 — Texture Fetch Latency.
+
+Time vs. input count (2-18) with the ALU-op count pinned at inputs-1.
+Linear per series; n float4 fetches cost what 4n float fetches cost
+(slope ratio ~4); each GPU generation fetches faster than the previous.
+"""
+
+
+def test_fig11_texture_fetch_latency(figure_bench):
+    result = figure_bench("fig11")
+    assert len(result.series) == 10

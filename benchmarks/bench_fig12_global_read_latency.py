@@ -1,0 +1,12 @@
+"""Figure 12 — Global Read Latency.
+
+The uncached-path twin of Figure 11.  Uncoalesced reads pay one memory
+transaction per thread, so float and float4 cost the same (vectorization
+is a free win) — and the RV670's global path is in a different league
+from the RV770/RV870's.
+"""
+
+
+def test_fig12_global_read_latency(figure_bench):
+    result = figure_bench("fig12")
+    assert len(result.series) == 10

@@ -1,0 +1,12 @@
+"""Figure 13 — Streaming Store Latency (pixel-mode color buffers).
+
+Time vs. output count (1-8) with eight inputs and constant GPR usage.
+Fetch-bound floor at small output counts, then a linear write-bound rise;
+burst combining makes the cost proportional to bytes, so float4 slopes
+are ~4x float slopes — equal per-byte cost.
+"""
+
+
+def test_fig13_streaming_store_latency(figure_bench):
+    result = figure_bench("fig13")
+    assert len(result.series) == 6  # pixel mode only

@@ -1,0 +1,12 @@
+"""Figure 14 — Global Write Latency.
+
+Same sweep as Figure 13 but writing uncached global memory (the only
+option in compute mode).  Write-combined stores move real bytes: float
+time is ~1/4 of float4 time, and the path is faster per byte than the
+color-buffer export path.
+"""
+
+
+def test_fig14_global_write_latency(figure_bench):
+    result = figure_bench("fig14")
+    assert len(result.series) == 10

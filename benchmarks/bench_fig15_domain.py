@@ -1,0 +1,17 @@
+"""Figure 15 — Impact of Domain Size (a: pixel, b: compute).
+
+An ALU-bound kernel (ratio 10.0, eight inputs, one output) swept over
+square domains 256..1024.  Time scales with the thread count; partial
+edge tiles and compute-mode padding to 64 produce the small ripples; the
+generation ordering 3870 > 4870 > 5870 holds everywhere.
+"""
+
+
+def test_fig15a_domain_size_pixel(figure_bench):
+    result = figure_bench("fig15a")
+    assert len(result.series) == 3
+
+
+def test_fig15b_domain_size_compute(figure_bench):
+    result = figure_bench("fig15b")
+    assert len(result.series) == 2  # RV670 has no compute mode

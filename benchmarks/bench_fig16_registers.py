@@ -1,0 +1,13 @@
+"""Figure 16 — Impact of Register Usage.
+
+The Figure 6 generator sweeps sampling placement (space=8, step=0..7) so
+GPR usage falls ~64 -> ~10 at constant work.  Fewer registers admit more
+simultaneous wavefronts, which hide fetch latency: RV670/RV770 improve
+substantially, the RV870 less, and at the highest wavefront counts cache
+pressure turns the curve back up.
+"""
+
+
+def test_fig16_register_pressure(figure_bench):
+    result = figure_bench("fig16")
+    assert len(result.series) == 10

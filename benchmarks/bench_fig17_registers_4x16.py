@@ -1,0 +1,14 @@
+"""Figure 17 — Register Usage with a 4x16 block size.
+
+The register-pressure sweep in compute mode with the optimized 2-D block.
+The RV770 still degrades at the highest wavefront counts, but every point
+beats its 64x1 counterpart from Figure 16.
+"""
+
+from conftest import regenerate
+
+
+def test_fig17_register_pressure_4x16(figure_bench):
+    regenerate("fig16")
+    result = figure_bench("fig17", expect=("fig16", "fig17"))
+    assert len(result.series) == 4

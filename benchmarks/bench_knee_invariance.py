@@ -1,0 +1,49 @@
+"""§IV invariance sweep — the figure behind the figures.
+
+The paper states the ALU:Fetch figures generalize: "results ... were
+obtained for a wide range of input sizes and domain sizes.  For each
+input size and domain size, the execution times differed but the behavior
+of the micro-benchmark (the ALU:Fetch ratio at which the bottleneck went
+from being the texture fetch to the ALU operations) remained the same."
+
+This benchmark regenerates that claim as a grid (input sizes x ratios)
+and checks that the extracted knee is the same at every input size.
+"""
+
+from repro.arch import RV770
+from repro.il.types import DataType
+from repro.reporting import render_table
+from repro.suite import alu_fetch_grid, knees_by_input
+
+RATIOS = tuple(0.25 * k for k in range(1, 33))
+
+
+def test_knee_invariant_over_input_sizes(benchmark):
+    grid = benchmark.pedantic(
+        lambda: alu_fetch_grid(
+            RV770, inputs=(4, 8, 16, 32), ratios=RATIOS, dtype=DataType.FLOAT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    knees = knees_by_input(grid)
+
+    print()
+    rows = [
+        (
+            str(n),
+            f"{grid.row(n)[0]:.2f}",
+            f"{grid.row(n)[-1]:.2f}",
+            f"{knees[n]:g}" if knees[n] is not None else ">8",
+        )
+        for n in grid.inputs
+    ]
+    print(
+        render_table(
+            ("inputs", "t(r=0.25) s", "t(r=8) s", "knee ratio"), rows
+        )
+    )
+
+    values = set(knees.values())
+    assert None not in values
+    assert max(values) - min(values) <= 0.25

@@ -1,0 +1,82 @@
+"""Benchmark harness helpers.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures:
+it runs the corresponding micro-benchmark sweep on the simulated chips,
+prints the same rows/series the paper plots (plus an ASCII rendition of
+the figure), saves the data as JSON/CSV under ``benchmarks/results/``, and
+asserts the paper's shape claims for that figure.
+
+Set ``REPRO_FULL_FIGURES=1`` to sweep at the paper's full resolution
+(e.g. all 32 ALU:Fetch ratios); the default uses the fast sweeps, which
+preserve every checked shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.reporting import ascii_chart, check_expectations
+from repro.suite import run_benchmark
+from repro.suite.results import ResultSet
+
+RESULTS_DIR = Path(__file__).parent / "results"
+FULL = bool(int(os.environ.get("REPRO_FULL_FIGURES", "0")))
+
+#: cache so cross-figure expectations (fig8 vs fig7, ...) reuse runs.
+_cache: dict[str, ResultSet] = {}
+
+
+def regenerate(figure: str, **kwargs) -> ResultSet:
+    """Run one figure's sweep (cached per session) and persist artifacts."""
+    if figure not in _cache:
+        result = run_benchmark(figure, fast=not FULL, **kwargs)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        result.save(RESULTS_DIR / f"{figure}.json")
+        (RESULTS_DIR / f"{figure}.csv").write_text(result.to_csv())
+        _cache[figure] = result
+    return _cache[figure]
+
+
+def report(result: ResultSet) -> None:
+    """Print the figure's data table and ASCII chart."""
+    print()
+    print(result.format_table())
+    print()
+    print(ascii_chart(result))
+
+
+def assert_expectations(*figures: str) -> None:
+    """Assert every encoded paper claim that the given figures support."""
+    results = {name: _cache[name] for name in figures if name in _cache}
+    outcomes = [
+        o
+        for o in check_expectations(results)
+        if o.expectation.figure in figures
+    ]
+    failures = [
+        f"{o.expectation.claim}: {o.measured}" for o in outcomes if not o.passed
+    ]
+    assert not failures, "\n".join(failures)
+
+
+@pytest.fixture()
+def figure_bench(benchmark):
+    """Benchmark a figure regeneration and report it.
+
+    Returns a callable: ``figure_bench("fig7")`` -> ResultSet.  The
+    pytest-benchmark timing measures the full sweep (compile + simulate
+    every point), which is the cost a user pays to regenerate the figure.
+    """
+
+    def run(figure: str, expect: tuple[str, ...] | None = None, **kwargs):
+        result = benchmark.pedantic(
+            lambda: regenerate(figure, **kwargs), rounds=1, iterations=1
+        )
+        report(result)
+        assert_expectations(*(expect or (figure,)))
+        return result
+
+    return run

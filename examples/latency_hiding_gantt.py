@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Watch latency hiding happen: clause-level Gantt charts (§II-A).
+
+"Wavefronts hide latency by switching between these clauses when a stall
+occurs."  This example traces the same kernel at high and low register
+pressure and renders what each SIMD resource is doing cycle by cycle:
+with few resident wavefronts the ALU row is mostly idle dots; with many,
+the gaps fill in — the mechanism behind Figure 16.
+
+Run:  python examples/latency_hiding_gantt.py
+"""
+
+from repro import KernelParams, LaunchConfig, compile_kernel
+from repro.arch import RV770
+from repro.kernels import generate_register_usage
+from repro.sim import render_gantt, simulate_launch, trace_launch
+
+
+def show(step: int) -> None:
+    params = KernelParams(inputs=64, space=8, step=step, alu_fetch_ratio=1.0)
+    program = compile_kernel(generate_register_usage(params))
+    launch = LaunchConfig(domain=(512, 512))
+    result = simulate_launch(program, RV770, launch)
+    print(
+        f"--- step={step}: {program.gpr_count} GPRs -> "
+        f"{result.counters.resident_wavefronts} resident wavefronts, "
+        f"{result.seconds:.1f} s, bound={result.bottleneck.value} ---"
+    )
+    events = trace_launch(program, RV770, launch, max_wavefronts=12)
+    print(render_gantt(events, width=96))
+    print()
+
+
+def main() -> None:
+    print("Register-usage kernel on the RV770 (64 inputs, space 8):\n")
+    for step in (0, 3, 7):
+        show(step)
+    print("More resident wavefronts fill the ALU row's idle columns and")
+    print("overlap the TEX clauses' latencies — time falls until a")
+    print("resource saturates, exactly the Figure 16 curve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Monte Carlo simulation: a global-write-bound kernel (§IV-C).
+
+The paper: "The StreamSDK Monte Carlo sample includes several kernels
+which are global write bound.  This indicates that for these kernels,
+there is room for additional ALU instructions (with no performance
+decrease) until the point at which the bound changes from write to ALU."
+
+This example estimates pi with the NumPy reference, shows the
+path-generation kernel is write-bound, and then measures exactly the
+headroom the paper describes: ALU batches are added until the bound flips.
+
+Run:  python examples/montecarlo_write_bound.py
+"""
+
+import numpy as np
+
+from repro.apps import advise, analyze_montecarlo, montecarlo_kernel, montecarlo_pi_reference
+from repro.arch import RV770, all_gpus
+from repro.cal import time_kernel
+
+
+def estimate_pi() -> None:
+    print("=== Monte Carlo pi (rejection sampling reference) ===")
+    for samples in (10_000, 100_000, 1_000_000):
+        estimate = montecarlo_pi_reference(samples)
+        print(
+            f"  {samples:>9,} samples: pi ~= {estimate:.5f} "
+            f"(error {abs(estimate - np.pi):.5f})"
+        )
+    print()
+
+
+def show_boundedness() -> None:
+    print("=== the path kernel is write-bound on every chip ===")
+    for gpu in all_gpus():
+        analysis = analyze_montecarlo(gpu, outputs=4, batches=2)
+        print(
+            f"  {gpu.card:<18} {analysis.seconds:8.2f} s  "
+            f"bound={analysis.bound.value:<6} "
+            f"stores={analysis.ska.stats.store_count}"
+        )
+    print()
+
+
+def free_alu_headroom() -> None:
+    print("=== ALU headroom under the write bound (RV770) ===")
+    print(f"  {'batches':>8} {'seconds':>9} {'bound':>7}")
+    previous_bound = None
+    for batches in (1, 2, 4, 8, 16, 32, 64):
+        kernel = montecarlo_kernel(outputs=4, batches=batches)
+        event = time_kernel(RV770, kernel)
+        marker = ""
+        if previous_bound == "write" and event.bottleneck.value != "write":
+            marker = "   <- bound flips here"
+        previous_bound = event.bottleneck.value
+        print(
+            f"  {batches:8d} {event.seconds:9.2f} {event.bottleneck.value:>7}"
+            f"{marker}"
+        )
+    print()
+    print("Until the flip, extra sample batches are free: the ALU works")
+    print("in the shadow of the global-write drain.")
+    print()
+
+    analysis = analyze_montecarlo(RV770, outputs=8, batches=1)
+    event = time_kernel(RV770, montecarlo_kernel(outputs=8, batches=1))
+    print("Advisor output for the write-bound kernel:")
+    for suggestion in advise(event.result):
+        print(f"  * {suggestion}")
+
+
+def main() -> None:
+    estimate_pi()
+    show_boundedness()
+    free_alu_headroom()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's figures from the command line.
+
+Run:  python examples/regenerate_figure.py fig7
+      python examples/regenerate_figure.py fig16 --full
+      python examples/regenerate_figure.py --list
+
+Prints the figure's data table, an ASCII rendition of the plot, and the
+paper-claim checklist for that figure; optionally saves JSON/CSV.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.reporting import ascii_chart, check_expectations
+from repro.suite import BENCHMARKS, run_benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figure",
+        nargs="?",
+        help=f"figure id, one of: {', '.join(sorted(BENCHMARKS))}",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="sweep at the paper's full resolution (slower)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        help="also write <DIR>/<figure>.json and .csv",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figures"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        for name in sorted(BENCHMARKS):
+            factory = BENCHMARKS[name]
+            print(f"  {name:<8} {factory().title}")
+        return 0
+
+    result = run_benchmark(args.figure, fast=not args.full)
+    print(result.format_table())
+    print()
+    print(ascii_chart(result))
+    print()
+
+    outcomes = [
+        o
+        for o in check_expectations({args.figure: result})
+        if o.expectation.figure == args.figure
+    ]
+    if outcomes:
+        print("Paper claims checked against this run:")
+        for outcome in outcomes:
+            status = "PASS" if outcome.passed else "DEVIATES"
+            print(f"  [{status}] {outcome.expectation.claim}")
+            print(f"           measured: {outcome.measured}")
+
+    if args.save:
+        directory = Path(args.save)
+        directory.mkdir(parents=True, exist_ok=True)
+        result.save(directory / f"{args.figure}.json")
+        (directory / f"{args.figure}.csv").write_text(result.to_csv())
+        print(f"\nSaved {args.figure}.json / .csv under {directory}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "A Micro-benchmark Suite for AMD GPUs"
+(Taylor & Li, ICPP 2010 Workshops) on a simulated R600/R700/Evergreen
+substrate.
+
+Quick start::
+
+    from repro import open_device, time_kernel
+    from repro.kernels import KernelParams, generate_generic
+
+    kernel = generate_generic(KernelParams(inputs=16, alu_fetch_ratio=2.0))
+    event = time_kernel("4870", kernel)
+    print(event.seconds, event.bottleneck)
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.arch` — the three GPU generations (Table I).
+* :mod:`repro.il` / :mod:`repro.compiler` / :mod:`repro.isa` — AMD IL,
+  the CAL-compiler stand-in, and the clause-structured ISA.
+* :mod:`repro.sim` — the timing simulator (the hardware substitute).
+* :mod:`repro.cal` — the CAL-like host runtime.
+* :mod:`repro.kernels` — the paper's kernel generators (Figures 3/5/6).
+* :mod:`repro.suite` — the five micro-benchmarks (Figures 7-17).
+* :mod:`repro.ska` — the StreamKernelAnalyzer clone.
+* :mod:`repro.analysis` — knees, fits, boundedness, prediction.
+* :mod:`repro.apps` — matmul / binomial / Monte Carlo sample stand-ins.
+* :mod:`repro.reporting` — figure regeneration and expectation checking.
+"""
+
+from repro.arch import RV670, RV770, RV870, all_gpus, gpu_by_name
+from repro.cal import Context, Device, open_device, time_kernel
+from repro.compiler import CompileError, compile_kernel
+from repro.il import DataType, ILBuilder, ILKernel, MemorySpace, ShaderMode
+from repro.isa import disassemble
+from repro.kernels import (
+    KernelParams,
+    generate_clause_usage,
+    generate_generic,
+    generate_register_usage,
+)
+from repro.sim import LaunchConfig, SimConfig, simulate_launch
+from repro.sim.counters import Bound
+from repro.ska import analyze as ska_analyze
+from repro.suite import run_benchmark, run_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bound",
+    "CompileError",
+    "Context",
+    "DataType",
+    "Device",
+    "ILBuilder",
+    "ILKernel",
+    "KernelParams",
+    "LaunchConfig",
+    "MemorySpace",
+    "RV670",
+    "RV770",
+    "RV870",
+    "ShaderMode",
+    "SimConfig",
+    "__version__",
+    "all_gpus",
+    "compile_kernel",
+    "disassemble",
+    "generate_clause_usage",
+    "generate_generic",
+    "generate_register_usage",
+    "gpu_by_name",
+    "open_device",
+    "run_benchmark",
+    "run_suite",
+    "simulate_launch",
+    "ska_analyze",
+    "time_kernel",
+]

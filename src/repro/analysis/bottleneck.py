@@ -1,0 +1,39 @@
+"""Boundedness analysis over result series.
+
+Every :class:`~repro.suite.results.SeriesPoint` carries the simulator's
+bottleneck classification; these helpers summarize a series the way the
+paper narrates its figures ("the bottleneck went from being the texture
+fetch to the ALU operations").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.suite.results import Series
+
+
+def dominant_bound(series: Series) -> str:
+    """The most frequent bound across the series' points."""
+    if not series.points:
+        raise ValueError(f"series {series.label!r} has no points")
+    counts = Counter(p.bound or "unknown" for p in series.points)
+    return counts.most_common(1)[0][0]
+
+
+def bound_transitions(series: Series) -> list[tuple[float, str, str]]:
+    """Where the classification changes along x.
+
+    Returns ``(x, previous_bound, new_bound)`` triples in x order — for the
+    ALU:Fetch benchmark this lists the fetch->alu crossover the knee
+    detector finds from timing alone.
+    """
+    points = sorted(series.points, key=lambda p: p.x)
+    transitions: list[tuple[float, str, str]] = []
+    previous: str | None = None
+    for point in points:
+        bound = point.bound or "unknown"
+        if previous is not None and bound != previous:
+            transitions.append((point.x, previous, bound))
+        previous = bound
+    return transitions

@@ -1,0 +1,66 @@
+"""Linear fits for the latency figures.
+
+Figures 11-14 are read as lines: "the texture fetch latency for both float
+and float4 data types is linear, but not at the same slope" — and the
+float4:float slope ratio (≈4 for fetches and global writes, ≈1 for global
+reads and streaming stores) is the headline observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    @property
+    def is_linear(self) -> bool:
+        """Reasonable linearity threshold for the latency figures."""
+        return self.r_squared >= 0.97
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares linear fit of y over x."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(slope), float(intercept), r_squared)
+
+
+def slope_ratio(
+    xs_a: Sequence[float],
+    ys_a: Sequence[float],
+    xs_b: Sequence[float],
+    ys_b: Sequence[float],
+) -> float:
+    """Slope of curve A divided by slope of curve B.
+
+    Used for float4-vs-float comparisons: a ratio near 4 means each float
+    moves at a constant cost (vectorization does not help); near 1 means
+    the wide type is effectively free (vectorization is a pure win).
+    """
+    fit_a = linear_fit(xs_a, ys_a)
+    fit_b = linear_fit(xs_b, ys_b)
+    if abs(fit_b.slope) < 1e-12:
+        raise ZeroDivisionError("denominator curve has zero slope")
+    return fit_a.slope / fit_b.slope

@@ -1,0 +1,78 @@
+"""Bottleneck-transition (knee) detection on ALU:Fetch sweep curves.
+
+The ALU:Fetch micro-benchmark's signature shape is a constant plateau
+(fetch-bound) followed by a linear rise (ALU-bound).  The knee — the ratio
+at which the rise starts — is the dynamic quantity the paper extracts:
+1.25 for float and 5.0 for float4 in pixel mode on the RV670/RV770, about
+9.0 on the RV870 (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+
+@dataclass(frozen=True)
+class KneeAnalysis:
+    """Plateau-then-rise decomposition of one sweep curve."""
+
+    plateau_seconds: float
+    #: x of the first point rising ``tolerance`` above the plateau; None if
+    #: the curve never leaves the plateau within the sweep.
+    knee_x: float | None
+    #: mean rise per unit x beyond the knee (0 when no knee was found).
+    rise_slope: float
+    tolerance: float
+
+    @property
+    def has_knee(self) -> bool:
+        return self.knee_x is not None
+
+
+def find_knee(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    tolerance: float = 0.05,
+) -> KneeAnalysis:
+    """Locate the plateau-to-rise transition of a sweep curve.
+
+    The plateau level is the minimum of the first quarter of the curve
+    (robust to mild pressure-induced slope in the flat region); the knee is
+    the first x whose y exceeds the plateau by ``tolerance`` relatively and
+    never returns below it.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 3:
+        raise ValueError("need at least three points to find a knee")
+    pairs = sorted(zip(xs, ys))
+    sorted_xs = [p[0] for p in pairs]
+    sorted_ys = [p[1] for p in pairs]
+
+    head = max(2, len(sorted_ys) // 4)
+    plateau = min(sorted_ys[:head])
+    limit = plateau * (1.0 + tolerance)
+
+    knee_index: int | None = None
+    for index in range(len(sorted_ys)):
+        if sorted_ys[index] > limit and all(
+            y > limit for y in sorted_ys[index:]
+        ):
+            knee_index = index
+            break
+
+    if knee_index is None or knee_index == len(sorted_ys) - 1:
+        slope = 0.0
+        knee_x = sorted_xs[knee_index] if knee_index is not None else None
+    else:
+        knee_x = sorted_xs[knee_index]
+        dx = sorted_xs[-1] - sorted_xs[knee_index]
+        slope = (sorted_ys[-1] - sorted_ys[knee_index]) / dx if dx else 0.0
+
+    return KneeAnalysis(
+        plateau_seconds=plateau,
+        knee_x=knee_x,
+        rise_slope=slope,
+        tolerance=tolerance,
+    )

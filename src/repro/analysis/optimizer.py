@@ -1,0 +1,172 @@
+"""Model-guided parameter tuning.
+
+The paper positions the suite as the measurement layer under automatic
+tuning: "The performance models described in this paper can be used to
+determine the type of optimizations and help the selection of
+optimization parameters."  This module closes that loop for the three
+knobs the paper's results expose:
+
+* :func:`tune_block_size` — the compute-mode decomposition (§IV-A:
+  "one block size might not be best for all GPUs");
+* :func:`tune_register_pressure` — the Figure 6 ``step`` placement
+  (§IV-E: "a good indication of the sweet spot for balancing register
+  pressure and cache hit rate");
+* :func:`balance_alu_fetch` — the smallest ALU:Fetch ratio that makes a
+  kernel ALU-bound on a given chip (the dynamic "good ratio" that the
+  static SKA band cannot provide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.specs import GPUSpec
+from repro.compiler import compile_kernel
+from repro.il.module import ILKernel
+from repro.il.types import ShaderMode
+from repro.kernels import KernelParams, generate_generic, generate_register_usage
+from repro.sim.config import LaunchConfig, SimConfig
+from repro.sim.counters import Bound
+from repro.sim.engine import simulate_launch
+
+#: block shapes holding one 64-thread wavefront, widest to tallest.
+CANDIDATE_BLOCKS: tuple[tuple[int, int], ...] = (
+    (64, 1),
+    (32, 2),
+    (16, 4),
+    (8, 8),
+    (4, 16),
+    (2, 32),
+)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated configuration."""
+
+    setting: object
+    seconds: float
+    bound: Bound
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a parameter search."""
+
+    best: Trial
+    trials: tuple[Trial, ...]
+
+    @property
+    def improvement(self) -> float:
+        """Worst-over-best time ratio across the search space."""
+        worst = max(t.seconds for t in self.trials)
+        return worst / self.best.seconds
+
+    def summary(self) -> str:
+        return (
+            f"best {self.best.setting!r}: {self.best.seconds:.3f}s "
+            f"({self.best.bound.value}-bound), {self.improvement:.2f}x over "
+            f"the worst of {len(self.trials)} candidates"
+        )
+
+
+def _search(
+    settings,
+    evaluate: Callable[[object], tuple[float, Bound]],
+) -> TuningResult:
+    trials = []
+    for setting in settings:
+        seconds, bound = evaluate(setting)
+        trials.append(Trial(setting, seconds, bound))
+    best = min(trials, key=lambda t: t.seconds)
+    return TuningResult(best=best, trials=tuple(trials))
+
+
+def tune_block_size(
+    kernel: ILKernel,
+    gpu: GPUSpec,
+    domain: tuple[int, int] = (1024, 1024),
+    candidates=CANDIDATE_BLOCKS,
+    sim: SimConfig | None = None,
+) -> TuningResult:
+    """Find the fastest compute-mode block decomposition for a kernel."""
+    if kernel.mode is not ShaderMode.COMPUTE:
+        raise ValueError("block-size tuning applies to compute-mode kernels")
+    program = compile_kernel(kernel, gpu)
+    sim = sim or SimConfig()
+
+    def evaluate(block):
+        launch = LaunchConfig(
+            domain=domain, mode=ShaderMode.COMPUTE, block=block
+        )
+        result = simulate_launch(program, gpu, launch, sim)
+        return result.seconds, result.bottleneck
+
+    return _search(candidates, evaluate)
+
+
+def tune_register_pressure(
+    gpu: GPUSpec,
+    params: KernelParams,
+    domain: tuple[int, int] = (512, 512),
+    steps=range(0, 8),
+    block: tuple[int, int] = (64, 1),
+    sim: SimConfig | None = None,
+) -> TuningResult:
+    """Sweep the Figure 6 ``step`` knob and return the sweet spot.
+
+    The trial setting is ``(step, gpr_count)`` so callers can see both the
+    knob and the register footprint it produced.
+    """
+    sim = sim or SimConfig()
+    trials = []
+    for step in steps:
+        kernel = generate_register_usage(params.with_(step=step))
+        program = compile_kernel(kernel, gpu)
+        launch = LaunchConfig(domain=domain, mode=params.mode, block=block)
+        result = simulate_launch(program, gpu, launch, sim)
+        trials.append(
+            Trial((step, program.gpr_count), result.seconds, result.bottleneck)
+        )
+    best = min(trials, key=lambda t: t.seconds)
+    return TuningResult(best=best, trials=tuple(trials))
+
+
+def balance_alu_fetch(
+    gpu: GPUSpec,
+    params: KernelParams,
+    domain: tuple[int, int] = (1024, 1024),
+    block: tuple[int, int] = (64, 1),
+    tolerance: float = 0.25,
+    max_ratio: float = 32.0,
+    sim: SimConfig | None = None,
+) -> float:
+    """The smallest SKA ALU:Fetch ratio at which the kernel is ALU-bound.
+
+    Binary search over the ratio; this is the *dynamic* balance point the
+    paper measures with Figure 7 — it depends on data type, shader mode,
+    block shape and chip, unlike the SKA's static 0.98-1.09 band.
+    """
+    sim = sim or SimConfig()
+    launch = LaunchConfig(domain=domain, mode=params.mode, block=block)
+
+    def bound_at(ratio: float) -> Bound:
+        kernel = generate_generic(params.with_(alu_fetch_ratio=ratio))
+        program = compile_kernel(kernel, gpu)
+        return simulate_launch(program, gpu, launch, sim).bottleneck
+
+    low, high = tolerance, max_ratio
+    if bound_at(high) is not Bound.ALU:
+        raise ValueError(
+            f"kernel never becomes ALU-bound up to ratio {max_ratio}"
+        )
+    if bound_at(low) is Bound.ALU:
+        return low
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if bound_at(mid) is Bound.ALU:
+            high = mid
+        else:
+            low = mid
+    return high

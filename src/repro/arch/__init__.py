@@ -1,0 +1,39 @@
+"""GPU architecture specifications for the AMD R600/R700/Evergreen families.
+
+This package is the stand-in for the physical RV670 / RV770 / RV870 chips the
+paper measures.  :class:`~repro.arch.specs.GPUSpec` carries both the publicly
+documented quantities reproduced in the paper's Table I (ALU count, texture
+units, SIMD engines, clocks, memory technology) and the micro-architectural
+parameters from AMD's R700-family ISA guide that the timing simulator needs
+(wavefront size, register file geometry, cache organization, clause limits).
+"""
+
+from repro.arch.specs import (
+    CacheSpec,
+    GPUSpec,
+    MemorySpec,
+    MemoryTechnology,
+)
+from repro.arch.registry import (
+    RV670,
+    RV770,
+    RV870,
+    all_gpus,
+    gpu_by_name,
+)
+from repro.arch.table import hardware_feature_table
+from repro.arch.topology import thread_organization
+
+__all__ = [
+    "CacheSpec",
+    "GPUSpec",
+    "MemorySpec",
+    "MemoryTechnology",
+    "RV670",
+    "RV770",
+    "RV870",
+    "all_gpus",
+    "gpu_by_name",
+    "hardware_feature_table",
+    "thread_organization",
+]

@@ -1,0 +1,123 @@
+"""The three GPU generations measured by the paper.
+
+Table I of the paper:
+
+====== ===== ============= ============ ========== ========= ========
+GPU    ALUs  Texture Units SIMD Engines Core Clock Mem Clock Mem Type
+====== ===== ============= ============ ========== ========= ========
+RV670  320   16            4            750 MHz    1000 MHz  DDR4
+RV770  800   40            10           750 MHz    900 MHz   DDR5
+RV870  1600  80            20           850 MHz    1200 MHz  DDR5
+====== ===== ============= ============ ========== ========= ========
+
+Cache parameters follow the paper's §IV-A observations: the RV870's texture
+L1 is half the RV770's size with double the line size.  The RV670 predates
+OpenCL and does not support compute shader mode (§IV); its uncached global
+memory path is far slower than its texture path (§IV-B), which we model with
+a low ``global_read_efficiency``.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import CacheSpec, GPUSpec, MemorySpec, MemoryTechnology
+
+RV670 = GPUSpec(
+    chip="RV670",
+    card="Radeon HD 3870",
+    short_card="3870",
+    num_alus=320,
+    num_texture_units=16,
+    num_simds=4,
+    core_clock_mhz=750.0,
+    memory=MemorySpec(
+        clock_mhz=1000.0,
+        technology=MemoryTechnology.GDDR4,
+        bus_width_bits=256,
+        texture_fill_efficiency=0.80,
+        # The R600-generation uncached path is unoptimized: the paper's
+        # Figures 9 and 12 show RV670 global reads taking a large multiple
+        # of the equivalent texture fetch, a penalty absent on the RV770
+        # and RV870.
+        global_read_efficiency=0.30,
+        global_write_efficiency=0.45,
+        global_latency_cycles=550,
+    ),
+    texture_l1=CacheSpec(size_bytes=16384, line_bytes=64),
+    supports_compute_shader=False,
+    max_wavefronts_per_simd=24,
+)
+
+RV770 = GPUSpec(
+    chip="RV770",
+    card="Radeon HD 4870",
+    short_card="4870",
+    num_alus=800,
+    num_texture_units=40,
+    num_simds=10,
+    core_clock_mhz=750.0,
+    memory=MemorySpec(
+        clock_mhz=900.0,
+        technology=MemoryTechnology.GDDR5,
+        bus_width_bits=256,
+        texture_fill_efficiency=0.85,
+        global_read_efficiency=0.85,
+        global_write_efficiency=0.70,
+        global_latency_cycles=400,
+    ),
+    texture_l1=CacheSpec(size_bytes=16384, line_bytes=64),
+    supports_compute_shader=True,
+    max_wavefronts_per_simd=32,
+)
+
+RV870 = GPUSpec(
+    chip="RV870",
+    card="Radeon HD 5870",
+    short_card="5870",
+    num_alus=1600,
+    num_texture_units=80,
+    num_simds=20,
+    core_clock_mhz=850.0,
+    memory=MemorySpec(
+        clock_mhz=1200.0,
+        technology=MemoryTechnology.GDDR5,
+        bus_width_bits=256,
+        texture_fill_efficiency=0.95,
+        global_read_efficiency=0.90,
+        global_write_efficiency=0.75,
+        global_latency_cycles=380,
+    ),
+    # "the RV870 has half the cache of the RV770" with a doubled line (§IV-A).
+    texture_l1=CacheSpec(size_bytes=8192, line_bytes=128),
+    supports_compute_shader=True,
+    max_wavefronts_per_simd=32,
+    board_memory_mib=1024,
+)
+
+_ALL: tuple[GPUSpec, ...] = (RV670, RV770, RV870)
+
+_BY_NAME: dict[str, GPUSpec] = {}
+for _gpu in _ALL:
+    _BY_NAME[_gpu.chip.lower()] = _gpu
+    _BY_NAME[_gpu.short_card.lower()] = _gpu
+    _BY_NAME[_gpu.card.lower()] = _gpu
+    _BY_NAME[f"hd{_gpu.short_card}".lower()] = _gpu
+    _BY_NAME[f"hd {_gpu.short_card}".lower()] = _gpu
+
+
+def all_gpus() -> tuple[GPUSpec, ...]:
+    """All GPU generations supported by the suite, oldest first."""
+    return _ALL
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a GPU by chip (``"RV770"``), card (``"Radeon HD 4870"``) or
+    figure label (``"4870"``).
+
+    Raises :class:`KeyError` with the known names if the lookup fails.
+    """
+    key = name.strip().lower()
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        known = ", ".join(sorted({g.chip for g in _ALL}))
+        raise KeyError(f"unknown GPU {name!r}; known chips: {known}") from None

@@ -1,0 +1,258 @@
+"""Dataclasses describing an AMD GPU generation.
+
+The fields split into two groups:
+
+* **Table I quantities** — the values the paper prints (ALUs, texture units,
+  SIMD engines, core/memory clocks, memory technology).  These are exact.
+* **Simulator parameters** — micro-architectural constants taken from AMD's
+  *R700-Family Instruction Set Architecture* guide and the *ATI Stream
+  Computing User Guide* (both cited by the paper), plus a small number of
+  calibration constants documented in DESIGN.md §4.  The calibration
+  constants are efficiency factors, not per-figure lookup tables: every curve
+  in the reproduction emerges from the mechanisms in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class MemoryTechnology(enum.Enum):
+    """DRAM technology of the board's memory subsystem.
+
+    The paper's Table I lists the HD 3870 as ``DDR4`` while §IV-B attributes
+    the RV670's poor *global* (uncached) read performance to its DDR3-class
+    memory path; the board shipped with GDDR4.  We keep the Table I label and
+    model the slow uncached path with
+    :attr:`MemorySpec.global_read_efficiency`.
+    """
+
+    GDDR3 = "DDR3"
+    GDDR4 = "DDR4"
+    GDDR5 = "DDR5"
+
+    @property
+    def transfers_per_clock(self) -> int:
+        """Data transfers per memory-clock cycle (DDR pumping factor)."""
+        return {
+            MemoryTechnology.GDDR3: 2,
+            MemoryTechnology.GDDR4: 2,
+            MemoryTechnology.GDDR5: 4,
+        }[self]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Off-chip memory subsystem description.
+
+    Bandwidth figures derive from clock * bus width * pumping factor, scaled
+    by per-path efficiency factors.  The *global* (uncached, arbitrary
+    address) path of the R600 generation is dramatically slower than its
+    texture path — the paper's Figure 12 shows the RV670 taking >4x longer
+    for global reads than texture fetches — hence separate efficiencies for
+    the texture-fill, global-read and global-write paths.
+    """
+
+    clock_mhz: float
+    technology: MemoryTechnology
+    bus_width_bits: int
+    #: Fraction of peak DRAM bandwidth achievable by texture-miss fill traffic.
+    texture_fill_efficiency: float = 0.85
+    #: Fraction of peak achievable by uncached global reads.
+    global_read_efficiency: float = 0.80
+    #: Fraction of peak achievable by uncached global writes.
+    global_write_efficiency: float = 0.70
+    #: Uncached access latency in *core* cycles (applied by the simulator).
+    global_latency_cycles: int = 400
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Peak theoretical DRAM bandwidth in bytes/second."""
+        transfers = self.clock_mhz * 1e6 * self.technology.transfers_per_clock
+        return transfers * self.bus_width_bits / 8.0
+
+    def path_bandwidth(self, efficiency: float) -> float:
+        """Effective bandwidth (bytes/s) of a memory path."""
+        return self.peak_bandwidth_bytes_per_s * efficiency
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Per-SIMD texture L1 cache organization.
+
+    The paper reports (§IV-A) that from the RV770 to the RV870 the cache size
+    was halved while the line size was doubled, and stresses that the cache
+    is organized for *two-dimensional* (tiled) access: a one-dimensional
+    64x1 compute-shader block walk uses "only half the cache".
+    """
+
+    size_bytes: int
+    line_bytes: int
+    #: L1 hit latency in core cycles.
+    hit_latency_cycles: int = 30
+    #: Additional latency of a miss serviced from L2/DRAM, in core cycles.
+    miss_latency_cycles: int = 550
+    #: Fraction of capacity usable by a purely 1-D (64x1) access stream.
+    one_d_utilization: float = 0.5
+
+    def lines(self) -> int:
+        """Number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    def tile_shape(self, texel_bytes: int) -> tuple[int, int]:
+        """(width, height) in texels of the 2-D tile held by one cache line.
+
+        Texture memory on these chips is tiled: one line maps to a roughly
+        square 2-D block of texels.  For a 64-byte line this is 4x4 float
+        texels or 2x2 float4 texels.  Width is the power of two nearest to
+        (and at least) the square root of the texel count.
+        """
+        texels = max(1, self.line_bytes // texel_bytes)
+        width = 1 << max(0, math.ceil(math.log2(math.sqrt(texels))))
+        width = min(width, texels)
+        height = max(1, texels // width)
+        return width, height
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Complete description of one AMD GPU generation.
+
+    Instances for the three chips measured in the paper live in
+    :mod:`repro.arch.registry`.
+    """
+
+    # ---- identity -------------------------------------------------------
+    chip: str  #: e.g. ``"RV770"``
+    card: str  #: retail board used in the paper, e.g. ``"Radeon HD 4870"``
+    short_card: str  #: the label used in the paper's figures, e.g. ``"4870"``
+
+    # ---- Table I quantities --------------------------------------------
+    num_alus: int
+    num_texture_units: int
+    num_simds: int
+    core_clock_mhz: float
+    memory: MemorySpec
+
+    # ---- ISA-guide micro-architecture ----------------------------------
+    wavefront_size: int = 64
+    #: stream cores (5-wide VLIW thread processors) per SIMD engine.
+    thread_processors_per_simd: int = 16
+    #: VLIW issue width of one thread processor (x, y, z, w, t slots).
+    vliw_width: int = 5
+    #: texture fetch units per SIMD engine.
+    texture_units_per_simd: int = 4
+    #: 128-bit general-purpose registers available per thread when a single
+    #: wavefront owns the SIMD (16k regs / 64 threads for the RV770 — §II-B).
+    registers_per_thread: int = 256
+    #: hardware ceiling on wavefronts resident on one SIMD engine.
+    max_wavefronts_per_simd: int = 32
+    #: maximum VLIW bundles per ALU clause (R700 ISA limit).
+    max_alu_per_clause: int = 128
+    #: maximum fetch instructions per TEX clause.
+    max_tex_per_clause: int = 8
+    #: maximum render targets (color buffers) in pixel shader mode.
+    max_color_buffers: int = 8
+    texture_l1: CacheSpec = field(default_factory=lambda: CacheSpec(16384, 64))
+    #: whether the chip supports compute shader mode (the RV670 does not).
+    supports_compute_shader: bool = True
+    #: on-board memory of the tested card in MiB ("domains were chosen
+    #: based on ... the availability of memory on the card" — §III).
+    board_memory_mib: int = 512
+    #: minimum uncached memory transaction size (128 bits).  Uncoalesced
+    #: global reads pay this per thread regardless of element width.
+    memory_transaction_bytes: int = 16
+    #: minimum cycles a burst (streaming-store) export instruction occupies
+    #: the export path per wavefront, regardless of data volume.
+    burst_export_cycles: int = 32
+    #: color-buffer path bandwidth relative to the global-write path.  The
+    #: render backend moves export data less efficiently than raw stores —
+    #: Figure 13's slopes sit above Figure 14's.
+    export_efficiency: float = 0.55
+    #: base latency of the export path in core cycles.
+    export_latency_cycles: int = 96
+
+    # ---- sanity ---------------------------------------------------------
+    def __post_init__(self) -> None:
+        expected_alus = (
+            self.num_simds * self.thread_processors_per_simd * self.vliw_width
+        )
+        if expected_alus != self.num_alus:
+            raise ValueError(
+                f"{self.chip}: ALU count {self.num_alus} inconsistent with "
+                f"{self.num_simds} SIMDs x {self.thread_processors_per_simd} "
+                f"TPs x {self.vliw_width}-wide VLIW = {expected_alus}"
+            )
+        expected_tex = self.num_simds * self.texture_units_per_simd
+        if expected_tex != self.num_texture_units:
+            raise ValueError(
+                f"{self.chip}: texture unit count {self.num_texture_units} "
+                f"inconsistent with {self.num_simds} SIMDs x "
+                f"{self.texture_units_per_simd} = {expected_tex}"
+            )
+        if self.wavefront_size % (4 * self.thread_processors_per_simd):
+            raise ValueError(
+                f"{self.chip}: wavefront size {self.wavefront_size} must be a "
+                "multiple of 4 threads x thread processors"
+            )
+
+    # ---- derived quantities ---------------------------------------------
+    @property
+    def core_clock_hz(self) -> float:
+        return self.core_clock_mhz * 1e6
+
+    @property
+    def quads_per_wavefront(self) -> int:
+        """2x2 thread groups per wavefront (§II-A)."""
+        return self.wavefront_size // 4
+
+    @property
+    def cycles_per_alu_instruction(self) -> int:
+        """Core cycles for one wavefront to issue one VLIW instruction.
+
+        64 threads over 16 thread processors = 4 cycles: each quad thread is
+        interleaved over its thread processor.
+        """
+        return self.wavefront_size // self.thread_processors_per_simd
+
+    @property
+    def cycles_per_fetch_issue(self) -> int:
+        """Core cycles for one wavefront to issue one fetch instruction.
+
+        64 threads over 4 texture units = 16 cycles — the source of the
+        theoretical 4:1 ALU:TEX rate behind the SKA ratio convention (§III-A).
+        """
+        return self.wavefront_size // self.texture_units_per_simd
+
+    @property
+    def alu_tex_issue_ratio(self) -> float:
+        """Hardware ALU:TEX issue-rate ratio (4.0 on all three chips)."""
+        return self.cycles_per_fetch_issue / self.cycles_per_alu_instruction
+
+    @property
+    def register_file_entries_per_simd(self) -> int:
+        """128-bit registers per SIMD engine (16k on the RV770)."""
+        return self.registers_per_thread * self.wavefront_size
+
+    def max_wavefronts_for_gprs(self, gprs: int) -> int:
+        """Simultaneous wavefronts schedulable on a SIMD for a GPR count.
+
+        The paper's §II-B arithmetic: a kernel using 5 registers admits
+        256/5 = 51 wavefronts, clamped by the hardware ceiling.  At least one
+        wavefront can always run (the compiler never exceeds the per-thread
+        register budget).
+        """
+        if gprs <= 0:
+            return self.max_wavefronts_per_simd
+        fit = self.registers_per_thread // gprs
+        return max(1, min(self.max_wavefronts_per_simd, fit))
+
+    def bytes_per_core_cycle(self, bandwidth_bytes_per_s: float) -> float:
+        """Convert a bandwidth to bytes per core clock cycle (whole chip)."""
+        return bandwidth_bytes_per_s / self.core_clock_hz
+
+    def per_simd_bytes_per_cycle(self, bandwidth_bytes_per_s: float) -> float:
+        """Bytes per core cycle of a chip-wide path, per SIMD share."""
+        return self.bytes_per_core_cycle(bandwidth_bytes_per_s) / self.num_simds

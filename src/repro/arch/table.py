@@ -1,0 +1,56 @@
+"""Renderer for the paper's Table I (GPU Hardware Features)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.arch.registry import all_gpus
+from repro.arch.specs import GPUSpec
+
+
+def hardware_feature_table(gpus: Sequence[GPUSpec] | None = None) -> str:
+    """Render Table I as fixed-width text.
+
+    The paper prints the table in two halves; we do the same so the output
+    is directly comparable.
+    """
+    gpus = tuple(gpus) if gpus is not None else all_gpus()
+
+    top_headers = ("GPU", "ALUs", "Texture Units", "SIMD Engines")
+    top_rows = [
+        (g.chip, str(g.num_alus), str(g.num_texture_units), str(g.num_simds))
+        for g in gpus
+    ]
+    bottom_headers = ("GPU", "Core Clock", "Mem Clock", "Mem Type")
+    bottom_rows = [
+        (
+            g.chip,
+            f"{g.core_clock_mhz:.0f}Mhz",
+            f"{g.memory.clock_mhz:.0f}Mhz",
+            g.memory.technology.value,
+        )
+        for g in gpus
+    ]
+
+    parts = [
+        _render_grid(top_headers, top_rows),
+        "",
+        _render_grid(bottom_headers, bottom_rows),
+        "",
+        "TABLE I: GPU Hardware Features",
+    ]
+    return "\n".join(parts)
+
+
+def _render_grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

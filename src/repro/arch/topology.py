@@ -1,0 +1,57 @@
+"""Thread-organization rendering (the paper's Figure 1).
+
+Figure 1 of the paper diagrams how a wavefront's threads map onto a SIMD
+engine: 2x2 quads of threads, each quad interleaved over one thread
+processor, 16 thread processors per SIMD, and the odd/even wavefront
+slots.  :func:`thread_organization` renders the same structure as text
+for any :class:`~repro.arch.specs.GPUSpec`.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPUSpec
+
+
+def thread_organization(gpu: GPUSpec) -> str:
+    """Render the Figure 1 thread-organization diagram for one chip."""
+    tp = gpu.thread_processors_per_simd
+    quads = gpu.quads_per_wavefront
+    lines = [
+        f"{gpu.chip} thread organization",
+        "=" * 40,
+        f"chip: {gpu.num_simds} SIMD engines x {tp} thread processors "
+        f"x {gpu.vliw_width}-wide VLIW = {gpu.num_alus} stream cores",
+        "",
+        f"wavefront: {gpu.wavefront_size} threads = {quads} quads (2x2)",
+        f"each quad interleaves over one thread processor "
+        f"({gpu.cycles_per_alu_instruction} cycles per VLIW instruction)",
+        "",
+        "one SIMD engine:",
+    ]
+    per_row = 8
+    for row_start in range(0, tp, per_row):
+        cells = [
+            f"TP{index:02d}" for index in range(row_start, min(row_start + per_row, tp))
+        ]
+        lines.append("  +" + "+".join(["------"] * len(cells)) + "+")
+        lines.append("  |" + "|".join(f" {c} " for c in cells) + "|")
+        lines.append(
+            "  |" + "|".join([" q  q "] * len(cells)) + "|"
+        )
+        lines.append(
+            "  |" + "|".join([" q  q "] * len(cells)) + "|"
+        )
+    lines.append("  +" + "+".join(["------"] * per_row) + "+")
+    lines.append(
+        f"  {gpu.texture_units_per_simd} texture units "
+        f"({gpu.cycles_per_fetch_issue} cycles to issue one wavefront fetch)"
+    )
+    lines.append(
+        "  odd/even slots: two wavefronts interleave per thread processor; "
+        "a single wavefront uses half"
+    )
+    lines.append(
+        f"  register file: {gpu.register_file_entries_per_simd} x 128-bit "
+        f"({gpu.registers_per_thread} GPRs per thread)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""CAL-like host runtime.
+
+The paper's suite is host-driven through AMD's Compute Abstraction Layer;
+this package reproduces that structure so the benchmark harness reads like
+the original CAL code:
+
+* :func:`open_device` / :class:`Device` — one per GPU.
+* :class:`Context` — allocates :class:`Resource` objects against the
+  board's memory and loads IL kernels into :class:`Module` objects
+  (compiling them for the device).
+* :meth:`Context.run` — executes a module over a domain and returns an
+  :class:`Event` carrying the simulated kernel time (and, optionally, the
+  functionally computed outputs).
+
+Timings cover kernel invocation and execution only — like the paper, no
+off-board transfers are ever included (§III).
+"""
+
+from repro.cal.errors import (
+    BindingError,
+    CALError,
+    OutOfMemoryError,
+    UnsupportedError,
+)
+from repro.cal.device import Device, open_device
+from repro.cal.context import Context
+from repro.cal.resource import Resource
+from repro.cal.module import Module
+from repro.cal.kernel_launch import Event
+from repro.cal.timing import time_kernel
+
+__all__ = [
+    "BindingError",
+    "CALError",
+    "Context",
+    "Device",
+    "Event",
+    "Module",
+    "OutOfMemoryError",
+    "Resource",
+    "UnsupportedError",
+    "open_device",
+    "time_kernel",
+]

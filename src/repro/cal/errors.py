@@ -1,0 +1,19 @@
+"""CAL runtime error hierarchy."""
+
+from __future__ import annotations
+
+
+class CALError(Exception):
+    """Base class for runtime errors."""
+
+
+class UnsupportedError(CALError):
+    """The device cannot execute the request (e.g. compute mode on RV670)."""
+
+
+class OutOfMemoryError(CALError):
+    """Board memory exhausted by resource allocations."""
+
+
+class BindingError(CALError):
+    """Module bindings do not match the kernel's declarations."""

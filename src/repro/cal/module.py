@@ -1,0 +1,83 @@
+"""Loaded kernel modules: compiled program + resource bindings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cal.errors import BindingError
+from repro.cal.resource import Resource
+from repro.il.module import ILKernel
+from repro.il.types import MemorySpace
+from repro.isa.program import ISAProgram
+
+
+@dataclass
+class Module:
+    """An IL kernel compiled for a device, with its input/output bindings."""
+
+    kernel: ILKernel
+    program: ISAProgram
+    inputs: dict[int, Resource] = field(default_factory=dict)
+    outputs: dict[int, Resource] = field(default_factory=dict)
+    constants: dict[int, np.ndarray | float] = field(default_factory=dict)
+
+    def bind_input(self, index: int, resource: Resource) -> None:
+        decl = next((d for d in self.kernel.inputs if d.index == index), None)
+        if decl is None:
+            raise BindingError(f"kernel declares no input {index}")
+        if resource.space is not decl.space:
+            raise BindingError(
+                f"input {index} expects {decl.space.value} memory, got "
+                f"{resource.space.value}"
+            )
+        if resource.dtype is not decl.dtype:
+            raise BindingError(
+                f"input {index} expects {decl.dtype.value}, got "
+                f"{resource.dtype.value}"
+            )
+        self.inputs[index] = resource
+
+    def bind_output(self, index: int, resource: Resource) -> None:
+        decl = next((d for d in self.kernel.outputs if d.index == index), None)
+        if decl is None:
+            raise BindingError(f"kernel declares no output {index}")
+        if resource.space is not decl.space:
+            raise BindingError(
+                f"output {index} expects {decl.space.value} memory, got "
+                f"{resource.space.value}"
+            )
+        if resource.dtype is not decl.dtype:
+            raise BindingError(
+                f"output {index} expects {decl.dtype.value}, got "
+                f"{resource.dtype.value}"
+            )
+        self.outputs[index] = resource
+
+    def set_constant(self, index: int, value: np.ndarray | float) -> None:
+        if index >= len(self.kernel.constants):
+            raise BindingError(f"kernel declares no constant {index}")
+        self.constants[index] = value
+
+    def validate_bindings(self, domain: tuple[int, int]) -> None:
+        """Check all declarations are bound and extents cover the domain."""
+        width, height = domain
+        for decl in self.kernel.inputs:
+            resource = self.inputs.get(decl.index)
+            if resource is None:
+                raise BindingError(f"input {decl.index} is not bound")
+            if resource.width < width or resource.height < height:
+                raise BindingError(
+                    f"input {decl.index} ({resource.width}x{resource.height}) "
+                    f"smaller than domain {width}x{height}"
+                )
+        for decl in self.kernel.outputs:
+            resource = self.outputs.get(decl.index)
+            if resource is None:
+                raise BindingError(f"output {decl.index} is not bound")
+            if resource.width < width or resource.height < height:
+                raise BindingError(
+                    f"output {decl.index} ({resource.width}x{resource.height}) "
+                    f"smaller than domain {width}x{height}"
+                )

@@ -1,0 +1,78 @@
+"""Memory resources: 2-D textures, global buffers, color buffers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.il.types import DataType, MemorySpace
+
+
+@dataclass
+class Resource:
+    """A 2-D device allocation.
+
+    Data is materialized lazily — benchmark-only workloads never touch the
+    arrays, while functional runs read and write them.
+    """
+
+    width: int
+    height: int
+    dtype: DataType
+    space: MemorySpace
+    name: str = ""
+    _data: np.ndarray | None = field(default=None, repr=False)
+    _freed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(f"invalid resource extent {self.width}x{self.height}")
+        if self.space is MemorySpace.CONSTANT:
+            raise ValueError("constant buffers are bound per-launch, not allocated")
+
+    @property
+    def nbytes(self) -> int:
+        return self.width * self.height * self.dtype.bytes
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.height, self.width, self.dtype.components)
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing array (zero-initialized on first access)."""
+        self._check_alive()
+        if self._data is None:
+            self._data = np.zeros(self.shape, dtype=np.float32)
+        return self._data
+
+    def upload(self, array: np.ndarray) -> None:
+        """Copy host data into the resource (broadcasting components)."""
+        self._check_alive()
+        arr = np.asarray(array, dtype=np.float32)
+        if arr.ndim == 2:
+            arr = arr[:, :, np.newaxis]
+        if arr.shape[:2] != (self.height, self.width):
+            raise ValueError(
+                f"array shape {arr.shape[:2]} does not match resource "
+                f"{(self.height, self.width)}"
+            )
+        self.data[:] = np.broadcast_to(arr, self.shape)
+
+    def download(self) -> np.ndarray:
+        """Copy the resource's contents back to the host."""
+        self._check_alive()
+        return self.data.copy()
+
+    def mark_freed(self) -> None:
+        self._freed = True
+        self._data = None
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise ValueError(f"resource {self.name or id(self)} was freed")

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``devices`` — the simulated GPUs and their Table I features.
+* ``table1`` — the paper's hardware table.
+* ``generate`` — emit a micro-benchmark kernel's IL to stdout.
+* ``compile`` — compile IL (file or stdin) and print the ISA disassembly.
+* ``ska`` — static StreamKernelAnalyzer-style report for a kernel.
+* ``time`` — simulate a kernel launch and report seconds + bottleneck.
+* ``advise`` — time a kernel and print the optimization directions.
+* ``figure`` — regenerate one of the paper's figures.
+* ``suite`` — run several figures and print the paper-claim checklist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch import all_gpus, hardware_feature_table
+from repro.cal import Device, open_device, time_kernel
+from repro.compiler import compile_kernel
+from repro.il import DataType, MemorySpace, ShaderMode, emit_il, parse_il
+from repro.isa import disassemble
+from repro.kernels import (
+    KernelParams,
+    generate_clause_usage,
+    generate_generic,
+    generate_register_usage,
+)
+from repro.reporting import ascii_chart, experiment_report
+from repro.ska import analyze, format_report
+from repro.suite import BENCHMARKS, run_benchmark, run_suite
+
+_GENERATORS = {
+    "generic": generate_generic,
+    "register": generate_register_usage,
+    "clause": generate_clause_usage,
+}
+
+
+def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("kernel (generated or from IL)")
+    source.add_argument("--il", metavar="FILE", help="read IL from FILE ('-' = stdin)")
+    source.add_argument(
+        "--generator", choices=sorted(_GENERATORS), default="generic"
+    )
+    source.add_argument("--inputs", type=int, default=8)
+    source.add_argument("--outputs", type=int, default=1)
+    source.add_argument("--constants", type=int, default=0)
+    source.add_argument("--ratio", type=float, default=1.0, help="SKA ALU:Fetch ratio")
+    source.add_argument("--alu-ops", type=int, default=None)
+    source.add_argument(
+        "--dtype", choices=[d.value for d in DataType], default="float"
+    )
+    source.add_argument(
+        "--mode", choices=[m.value for m in ShaderMode], default="pixel"
+    )
+    source.add_argument(
+        "--global-inputs", action="store_true", help="read inputs via global memory"
+    )
+    source.add_argument(
+        "--global-outputs", action="store_true", help="write outputs to global memory"
+    )
+    source.add_argument("--space", type=int, default=8)
+    source.add_argument("--step", type=int, default=0)
+
+
+def _kernel_from_args(args: argparse.Namespace):
+    if args.il:
+        text = (
+            sys.stdin.read()
+            if args.il == "-"
+            else Path(args.il).read_text()
+        )
+        return parse_il(text)
+    params = KernelParams(
+        inputs=args.inputs,
+        outputs=args.outputs,
+        constants=args.constants,
+        alu_fetch_ratio=args.ratio,
+        alu_ops=args.alu_ops,
+        dtype=DataType.from_name(args.dtype),
+        mode=ShaderMode.from_name(args.mode),
+        input_space=(
+            MemorySpace.GLOBAL if args.global_inputs else MemorySpace.TEXTURE
+        ),
+        output_space=(MemorySpace.GLOBAL if args.global_outputs else None),
+        space=args.space,
+        step=args.step,
+    )
+    return _GENERATORS[args.generator](params)
+
+
+def _add_launch_arguments(parser: argparse.ArgumentParser) -> None:
+    launch = parser.add_argument_group("launch")
+    launch.add_argument("--gpu", default="4870", help="chip or card name")
+    launch.add_argument(
+        "--domain", type=int, nargs=2, default=(1024, 1024), metavar=("W", "H")
+    )
+    launch.add_argument(
+        "--block", type=int, nargs=2, default=(64, 1), metavar=("W", "H")
+    )
+    launch.add_argument("--iterations", type=int, default=5000)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.split("\n")[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated GPUs")
+    sub.add_parser("table1", help="print the paper's hardware table")
+
+    p = sub.add_parser(
+        "topology", help="thread-organization diagram (paper Figure 1)"
+    )
+    p.add_argument("--gpu", default="4870")
+
+    p = sub.add_parser(
+        "trace", help="clause-level Gantt chart of a kernel launch"
+    )
+    _add_kernel_arguments(p)
+    _add_launch_arguments(p)
+    p.add_argument("--wavefronts", type=int, default=None)
+    p.add_argument("--width", type=int, default=100)
+
+    p = sub.add_parser("generate", help="emit a kernel's IL")
+    _add_kernel_arguments(p)
+
+    p = sub.add_parser("compile", help="compile and disassemble a kernel")
+    _add_kernel_arguments(p)
+
+    p = sub.add_parser("ska", help="static analysis report")
+    _add_kernel_arguments(p)
+    p.add_argument("--gpu", default="4870")
+
+    p = sub.add_parser("time", help="simulate a kernel launch")
+    _add_kernel_arguments(p)
+    _add_launch_arguments(p)
+
+    p = sub.add_parser("advise", help="time a kernel and print advice")
+    _add_kernel_arguments(p)
+    _add_launch_arguments(p)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("id", choices=sorted(BENCHMARKS))
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--chart", action="store_true")
+    p.add_argument("--save", metavar="DIR")
+
+    p = sub.add_parser("suite", help="run figures and check paper claims")
+    p.add_argument("--figures", nargs="*", default=None)
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--out", metavar="DIR")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "devices":
+        for gpu in all_gpus():
+            print(Device(gpu).info())
+        return 0
+
+    if args.command == "table1":
+        print(hardware_feature_table())
+        return 0
+
+    if args.command == "topology":
+        from repro.arch import thread_organization
+
+        print(thread_organization(open_device(args.gpu).spec))
+        return 0
+
+    if args.command == "trace":
+        from repro.sim import LaunchConfig, render_gantt, trace_launch
+
+        kernel = _kernel_from_args(args)
+        gpu = open_device(args.gpu).spec
+        program = compile_kernel(kernel, gpu)
+        launch = LaunchConfig(
+            domain=tuple(args.domain),
+            mode=kernel.mode,
+            block=tuple(args.block),
+            iterations=args.iterations,
+        )
+        events = trace_launch(
+            program, gpu, launch, max_wavefronts=args.wavefronts
+        )
+        print(render_gantt(events, width=args.width))
+        return 0
+
+    if args.command == "generate":
+        print(emit_il(_kernel_from_args(args)), end="")
+        return 0
+
+    if args.command == "compile":
+        program = compile_kernel(_kernel_from_args(args))
+        print(disassemble(program))
+        return 0
+
+    if args.command == "ska":
+        program = compile_kernel(_kernel_from_args(args))
+        print(format_report(analyze(program, open_device(args.gpu).spec)))
+        return 0
+
+    if args.command in ("time", "advise"):
+        kernel = _kernel_from_args(args)
+        event = time_kernel(
+            args.gpu,
+            kernel,
+            domain=tuple(args.domain),
+            block=tuple(args.block),
+            iterations=args.iterations,
+        )
+        print(
+            f"{kernel.name} on {args.gpu}: {event.seconds:.4f} s "
+            f"({args.iterations} iterations), bound={event.bottleneck.value}"
+        )
+        print(f"  {event.counters.summary()}")
+        if args.command == "advise":
+            from repro.apps import advise as _advise
+
+            for suggestion in _advise(event.result):
+                print(f"  * {suggestion}")
+        return 0
+
+    if args.command == "figure":
+        result = run_benchmark(args.id, fast=not args.full)
+        print(result.format_table())
+        if args.chart:
+            print()
+            print(ascii_chart(result))
+        if args.save:
+            directory = Path(args.save)
+            directory.mkdir(parents=True, exist_ok=True)
+            result.save(directory / f"{args.id}.json")
+            (directory / f"{args.id}.csv").write_text(result.to_csv())
+        return 0
+
+    if args.command == "suite":
+        results = run_suite(
+            figures=args.figures, fast=not args.full, out_dir=args.out
+        )
+        print(experiment_report(results, markdown=False))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""IL -> ISA compiler (the CAL compiler stand-in).
+
+Lowers :class:`~repro.il.module.ILKernel` programs to the clause-structured
+ISA of :mod:`repro.isa`, reproducing the CAL compiler behaviours the paper's
+generators were written against (§III):
+
+* kernels without outputs and inputs that are never used are rejected;
+* dead arithmetic is eliminated;
+* fetches and ALU operations are grouped into TEX and ALU clauses in
+  program order (sampling placed early by the *generators*, as the real
+  compiler would);
+* VLIW bundles are packed greedily, so fully data-dependent chains occupy
+  one operation per bundle regardless of data type;
+* results consumed by the next bundle ride the PV/PS previous-result
+  registers, short-lived intra-clause values use the two clause
+  temporaries, and only values that cross clause boundaries consume
+  general-purpose registers.
+"""
+
+from repro.compiler.errors import CompileError
+from repro.compiler.pipeline import CompileOptions, compile_kernel
+
+__all__ = ["CompileError", "CompileOptions", "compile_kernel"]

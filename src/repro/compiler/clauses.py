@@ -1,0 +1,104 @@
+"""Clause formation: segmenting the IL body into TEX/ALU/EXP groups.
+
+Clause boundaries follow program order — the compiler does not hoist
+fetches across ALU operations.  This is the property the paper's register
+usage generator (Figure 6) relies on: placing a ``Sample`` after ALU
+operations produces a separate TEX clause in the ISA, shortening the
+sampled values' live ranges.  The standard generators emit all sampling
+first, which yields the all-sampling-up-front ISA layout the paper
+describes for the real CAL compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.errors import CompileError
+from repro.il.instructions import (
+    ALUInstruction,
+    ExportInstruction,
+    GlobalLoadInstruction,
+    GlobalStoreInstruction,
+    ILInstruction,
+    SampleInstruction,
+)
+from repro.il.module import ILKernel
+
+
+@dataclass
+class FetchSegment:
+    """A maximal run of fetch instructions (one or more TEX clauses)."""
+
+    fetches: list[SampleInstruction | GlobalLoadInstruction] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class ALUSegment:
+    """A maximal run of ALU instructions (one or more ALU clauses)."""
+
+    instructions: list[ALUInstruction] = field(default_factory=list)
+
+
+@dataclass
+class StoreSegment:
+    """The trailing exports/global stores (one export clause)."""
+
+    stores: list[ExportInstruction | GlobalStoreInstruction] = field(
+        default_factory=list
+    )
+
+
+Segment = FetchSegment | ALUSegment | StoreSegment
+
+
+def form_segments(kernel: ILKernel) -> list[Segment]:
+    """Split the kernel body into alternating fetch/ALU segments plus one
+    trailing store segment.
+
+    Raises :class:`CompileError` if a fetch or ALU instruction appears
+    after the first store — the hardware's export clause terminates the
+    program (``EXP_DONE``), so the generators always place outputs last.
+    """
+    segments: list[Segment] = []
+    stores = StoreSegment()
+
+    def last_segment(cls):
+        if segments and isinstance(segments[-1], cls):
+            return segments[-1]
+        seg = cls()
+        segments.append(seg)
+        return seg
+
+    for instr in kernel.body:
+        if isinstance(instr, (SampleInstruction, GlobalLoadInstruction)):
+            if stores.stores:
+                raise CompileError(
+                    f"kernel {kernel.name!r}: fetch after store is not "
+                    "supported (exports terminate the program)"
+                )
+            last_segment(FetchSegment).fetches.append(instr)
+        elif isinstance(instr, ALUInstruction):
+            if stores.stores:
+                raise CompileError(
+                    f"kernel {kernel.name!r}: ALU instruction after store is "
+                    "not supported (exports terminate the program)"
+                )
+            last_segment(ALUSegment).instructions.append(instr)
+        elif isinstance(instr, (ExportInstruction, GlobalStoreInstruction)):
+            stores.stores.append(instr)
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"unsupported instruction {instr!r}")
+
+    if not stores.stores:
+        raise CompileError(f"kernel {kernel.name!r} produces no output")
+    segments.append(stores)
+    return segments
+
+
+def chunk(items: list, size: int) -> list[list]:
+    """Split ``items`` into runs of at most ``size``."""
+    if size < 1:
+        raise ValueError("chunk size must be positive")
+    return [items[i : i + size] for i in range(0, len(items), size)]

@@ -1,0 +1,11 @@
+"""Compiler error hierarchy."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Raised when a kernel cannot be lowered to ISA."""
+
+
+class ResourceLimitError(CompileError):
+    """A hardware resource limit was exceeded (GPRs, render targets, ...)."""

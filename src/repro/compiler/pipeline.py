@@ -1,0 +1,85 @@
+"""The compile driver: IL kernel -> ISA program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.clauses import (
+    ALUSegment,
+    FetchSegment,
+    StoreSegment,
+    chunk,
+    form_segments,
+)
+from repro.compiler.errors import CompileError
+from repro.compiler.optimize import eliminate_dead_code
+from repro.compiler.regalloc import (
+    ProtoALUClause,
+    ProtoClause,
+    ProtoExportClause,
+    ProtoTexClause,
+    allocate,
+)
+from repro.compiler.vliw import pack_bundles
+from repro.arch.specs import GPUSpec
+from repro.il.module import ILKernel
+from repro.il.validate import validate_kernel
+from repro.isa.program import ISAProgram
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Clause-size limits; defaults match the R700 family."""
+
+    max_tex_per_clause: int = 8
+    max_alu_per_clause: int = 128
+
+    @classmethod
+    def for_gpu(cls, gpu: GPUSpec) -> "CompileOptions":
+        return cls(
+            max_tex_per_clause=gpu.max_tex_per_clause,
+            max_alu_per_clause=gpu.max_alu_per_clause,
+        )
+
+
+def compile_kernel(
+    kernel: ILKernel,
+    gpu: GPUSpec | None = None,
+    options: CompileOptions | None = None,
+) -> ISAProgram:
+    """Lower an IL kernel to a clause-structured ISA program.
+
+    ``gpu`` (or explicit ``options``) supplies the clause-size limits; the
+    defaults match all three chips in the paper, so figure-generation code
+    may omit it.
+    """
+    if options is None:
+        options = CompileOptions.for_gpu(gpu) if gpu is not None else CompileOptions()
+
+    validate_kernel(kernel)
+    kernel, _removed = eliminate_dead_code(kernel)
+    # DCE cannot invalidate the kernel (stores are roots), but re-check in
+    # case a pathological kernel stored an input that fed nothing else.
+    validate_kernel(kernel)
+
+    proto: list[ProtoClause] = []
+    for segment in form_segments(kernel):
+        if isinstance(segment, FetchSegment):
+            for group in chunk(segment.fetches, options.max_tex_per_clause):
+                proto.append(ProtoTexClause(group))
+        elif isinstance(segment, ALUSegment):
+            bundles = pack_bundles(segment.instructions)
+            for group in chunk(bundles, options.max_alu_per_clause):
+                proto.append(ProtoALUClause(group))
+        elif isinstance(segment, StoreSegment):
+            proto.append(ProtoExportClause(segment.stores))
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"unknown segment {segment!r}")
+
+    result = allocate(kernel, proto)
+    return ISAProgram(
+        kernel=kernel,
+        clauses=result.clauses,
+        gpr_count=result.gpr_count,
+        clause_temp_count=result.clause_temp_count,
+    )

@@ -1,0 +1,80 @@
+"""VLIW bundle packing.
+
+Each thread processor issues one VLIW instruction (a *bundle*) per cycle:
+four general stream cores (slots x, y, z, w) and one transcendental core
+(slot t) that can also execute basic operations (§II-A).  Packing is greedy
+in program order with one hard rule: an operation may not read a value
+produced inside its own bundle, because all slots execute in the same
+cycles.
+
+The paper's generated kernels are fully data-dependent chains, so they pack
+one operation per bundle regardless of data type — "the number of ALU
+instructions is not dependent on data type" (§III).  Independent code (the
+sample applications) genuinely packs wider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.il.instructions import ALUInstruction, Register, RegisterFile
+
+_GENERAL_SLOTS = ("x", "y", "z", "w")
+
+
+@dataclass
+class ProtoBundle:
+    """A bundle under construction: (slot, instruction) pairs."""
+
+    ops: list[tuple[str, ALUInstruction]] = field(default_factory=list)
+    defs: set[Register] = field(default_factory=set)
+
+    @property
+    def general_count(self) -> int:
+        return sum(1 for slot, _ in self.ops if slot != "t")
+
+    @property
+    def t_used(self) -> bool:
+        return any(slot == "t" for slot, _ in self.ops)
+
+    def can_accept(self, instr: ALUInstruction) -> bool:
+        """Slot availability and intra-bundle dependence check."""
+        for reg in instr.used_registers():
+            if reg in self.defs:
+                return False  # reads a value produced in this bundle
+        if instr.op.transcendental:
+            return not self.t_used
+        # basic op: any general slot, or the t core if all four are taken
+        return self.general_count < 4 or not self.t_used
+
+    def add(self, instr: ALUInstruction) -> None:
+        if instr.op.transcendental or self.general_count >= 4:
+            slot = "t"
+        else:
+            slot = _GENERAL_SLOTS[self.general_count]
+        self.ops.append((slot, instr))
+        self.defs.update(instr.defined_registers())
+
+
+def pack_bundles(instructions: list[ALUInstruction]) -> list[ProtoBundle]:
+    """Greedy in-order packing of an ALU segment into VLIW bundles.
+
+    In-order greedy packing is what the CAL compiler effectively achieves
+    on straight-line code: an instruction joins the current bundle unless
+    it depends on it or the bundle is full.
+    """
+    bundles: list[ProtoBundle] = []
+    current: ProtoBundle | None = None
+    for instr in instructions:
+        if current is None or not current.can_accept(instr):
+            current = ProtoBundle()
+            bundles.append(current)
+        current.add(instr)
+    return bundles
+
+
+def packing_density(bundles: list[ProtoBundle]) -> float:
+    """Average operations per bundle (1.0 = fully serial chain)."""
+    if not bundles:
+        return 0.0
+    return sum(len(b.ops) for b in bundles) / len(bundles)

@@ -1,0 +1,58 @@
+"""AMD Intermediate Language (IL) layer.
+
+The paper's suite is "programmed in AMD's Compute Abstraction Layer (CAL)
+and uses AMD's Intermediate Language (IL)" (§III).  This package models the
+IL subset the suite needs: sampled texture inputs, uncached global memory
+reads/writes, dependent scalar/vector ALU arithmetic, color-buffer exports,
+and literal constants — for both pixel shader (``il_ps``) and compute shader
+(``il_cs``) modes.
+
+The in-memory form is :class:`~repro.il.module.ILKernel`; kernels are most
+conveniently constructed with :class:`~repro.il.builder.ILBuilder`, rendered
+to IL assembly with :func:`~repro.il.text.emit_il`, and parsed back with
+:func:`~repro.il.parser.parse_il`.
+"""
+
+from repro.il.types import DataType, MemorySpace, ShaderMode
+from repro.il.opcodes import ILOp
+from repro.il.instructions import (
+    ALUInstruction,
+    ExportInstruction,
+    GlobalLoadInstruction,
+    GlobalStoreInstruction,
+    ILInstruction,
+    Operand,
+    Register,
+    RegisterFile,
+    SampleInstruction,
+)
+from repro.il.module import ConstantDecl, ILKernel, InputDecl, OutputDecl
+from repro.il.builder import ILBuilder
+from repro.il.text import emit_il
+from repro.il.parser import parse_il
+from repro.il.validate import ILValidationError, validate_kernel
+
+__all__ = [
+    "ALUInstruction",
+    "ConstantDecl",
+    "DataType",
+    "ExportInstruction",
+    "GlobalLoadInstruction",
+    "GlobalStoreInstruction",
+    "ILBuilder",
+    "ILInstruction",
+    "ILKernel",
+    "ILOp",
+    "ILValidationError",
+    "InputDecl",
+    "MemorySpace",
+    "Operand",
+    "OutputDecl",
+    "Register",
+    "RegisterFile",
+    "SampleInstruction",
+    "ShaderMode",
+    "emit_il",
+    "parse_il",
+    "validate_kernel",
+]

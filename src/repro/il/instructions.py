@@ -1,0 +1,192 @@
+"""IL instruction and operand model.
+
+IL programs are in (infinite) virtual-register form: ``r0, r1, ...``.  The
+CAL-compiler stand-in (:mod:`repro.compiler`) later maps virtual registers
+onto the finite general-purpose register file, clause temporaries and the
+``PV``/``PS`` previous-result registers described in §II-A of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.il.opcodes import ILOp
+
+
+class RegisterFile(enum.Enum):
+    """Register namespaces visible at the IL level."""
+
+    TEMP = "r"  #: virtual temporary
+    CONST = "cb0"  #: constant-buffer entry
+    LITERAL = "l"  #: literal constant
+    POSITION = "v"  #: interpolated position (pixel) / thread id (compute)
+    OUTPUT = "o"  #: pixel-shader output (color buffer)
+
+
+@dataclass(frozen=True)
+class Register:
+    """A register reference such as ``r12`` or ``cb0[3]``."""
+
+    file: RegisterFile
+    index: int
+
+    def __str__(self) -> str:
+        if self.file is RegisterFile.CONST:
+            return f"cb0[{self.index}]"
+        if self.file is RegisterFile.POSITION:
+            return f"v{self.index}"
+        return f"{self.file.value}{self.index}"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A source operand: a register with an optional negate modifier."""
+
+    register: Register
+    negate: bool = False
+
+    def __str__(self) -> str:
+        text = str(self.register)
+        return f"-{text}" if self.negate else text
+
+
+def _as_operand(value: "Operand | Register") -> Operand:
+    return value if isinstance(value, Operand) else Operand(value)
+
+
+@dataclass(frozen=True)
+class ILInstruction:
+    """Base class for all IL instructions."""
+
+    def defined_registers(self) -> tuple[Register, ...]:
+        """Registers written by this instruction."""
+        return ()
+
+    def used_registers(self) -> tuple[Register, ...]:
+        """Registers read by this instruction."""
+        return ()
+
+
+@dataclass(frozen=True)
+class SampleInstruction(ILInstruction):
+    """``sample_resource(n)_sampler(n) dst, coord`` — a texture fetch.
+
+    ``resource`` identifies the bound input texture; ``coord`` is normally
+    the position register (pixel mode) or a computed 2-D address (compute
+    mode, where the 1D->2D conversion is manual — §IV).
+    """
+
+    dest: Register
+    resource: int
+    coord: Operand
+
+    def __str__(self) -> str:
+        return (
+            f"sample_resource({self.resource})_sampler({self.resource}) "
+            f"{self.dest}, {self.coord}"
+        )
+
+    def defined_registers(self) -> tuple[Register, ...]:
+        return (self.dest,)
+
+    def used_registers(self) -> tuple[Register, ...]:
+        return (self.coord.register,)
+
+
+@dataclass(frozen=True)
+class GlobalLoadInstruction(ILInstruction):
+    """``mov dst, g[addr + offset]`` — an uncached global-memory read."""
+
+    dest: Register
+    address: Operand
+    offset: int = 0
+
+    def __str__(self) -> str:
+        suffix = f" + {self.offset}" if self.offset else ""
+        return f"mov {self.dest}, g[{self.address}{suffix}]"
+
+    def defined_registers(self) -> tuple[Register, ...]:
+        return (self.dest,)
+
+    def used_registers(self) -> tuple[Register, ...]:
+        return (self.address.register,)
+
+
+@dataclass(frozen=True)
+class GlobalStoreInstruction(ILInstruction):
+    """``mov g[addr + offset], src`` — an uncached global-memory write."""
+
+    address: Operand
+    source: Operand
+    offset: int = 0
+
+    def __str__(self) -> str:
+        suffix = f" + {self.offset}" if self.offset else ""
+        return f"mov g[{self.address}{suffix}], {self.source}"
+
+    def used_registers(self) -> tuple[Register, ...]:
+        return (self.address.register, self.source.register)
+
+
+@dataclass(frozen=True)
+class ExportInstruction(ILInstruction):
+    """``mov oN, src`` — a pixel-shader color-buffer (streaming) store."""
+
+    target: int
+    source: Operand
+
+    def __str__(self) -> str:
+        return f"mov o{self.target}, {self.source}"
+
+    def used_registers(self) -> tuple[Register, ...]:
+        return (self.source.register,)
+
+
+@dataclass(frozen=True)
+class ALUInstruction(ILInstruction):
+    """An arithmetic instruction, e.g. ``add r3, r1, r2``."""
+
+    op: ILOp
+    dest: Register
+    sources: tuple[Operand, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != self.op.arity:
+            raise ValueError(
+                f"{self.op.mnemonic} expects {self.op.arity} sources, "
+                f"got {len(self.sources)}"
+            )
+
+    def __str__(self) -> str:
+        srcs = ", ".join(str(s) for s in self.sources)
+        return f"{self.op.mnemonic} {self.dest}, {srcs}"
+
+    def defined_registers(self) -> tuple[Register, ...]:
+        return (self.dest,)
+
+    def used_registers(self) -> tuple[Register, ...]:
+        return tuple(s.register for s in self.sources)
+
+
+def temp(index: int) -> Register:
+    """Shorthand for a virtual temporary register ``r<index>``."""
+    return Register(RegisterFile.TEMP, index)
+
+
+def const(index: int) -> Register:
+    """Shorthand for constant-buffer entry ``cb0[<index>]``."""
+    return Register(RegisterFile.CONST, index)
+
+
+def position() -> Register:
+    """The position/thread-id register (``v0``)."""
+    return Register(RegisterFile.POSITION, 0)
+
+
+def operand(value: Operand | Register, negate: bool = False) -> Operand:
+    """Coerce a register to an operand, optionally negated."""
+    op = _as_operand(value)
+    if negate:
+        return Operand(op.register, negate=not op.negate)
+    return op

@@ -1,0 +1,63 @@
+"""IL opcode inventory.
+
+Only the arithmetic subset needed by the paper's generators and the sample
+applications is modeled, plus transcendental ops which must execute on the
+``t`` stream core of a VLIW bundle (§II-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an ALU opcode."""
+
+    mnemonic: str
+    arity: int
+    #: True if the op may only execute on the transcendental (t) core.
+    transcendental: bool = False
+
+
+class ILOp(enum.Enum):
+    """ALU opcodes usable in :class:`~repro.il.instructions.ALUInstruction`."""
+
+    MOV = OpInfo("mov", 1)
+    ADD = OpInfo("add", 2)
+    SUB = OpInfo("sub", 2)
+    MUL = OpInfo("mul", 2)
+    MAD = OpInfo("mad", 3)
+    MIN = OpInfo("min", 2)
+    MAX = OpInfo("max", 2)
+    DP4 = OpInfo("dp4", 2)
+    FLR = OpInfo("flr", 1)
+    FRC = OpInfo("frc", 1)
+    RCP = OpInfo("rcp", 1, transcendental=True)
+    RSQ = OpInfo("rsq", 1, transcendental=True)
+    SQRT = OpInfo("sqrt", 1, transcendental=True)
+    EXP = OpInfo("exp", 1, transcendental=True)
+    LOG = OpInfo("log", 1, transcendental=True)
+    SIN = OpInfo("sin", 1, transcendental=True)
+    COS = OpInfo("cos", 1, transcendental=True)
+
+    @property
+    def mnemonic(self) -> str:
+        return self.value.mnemonic
+
+    @property
+    def arity(self) -> int:
+        return self.value.arity
+
+    @property
+    def transcendental(self) -> bool:
+        return self.value.transcendental
+
+    @classmethod
+    def from_mnemonic(cls, mnemonic: str) -> "ILOp":
+        key = mnemonic.strip().lower()
+        for member in cls:
+            if member.mnemonic == key:
+                return member
+        raise ValueError(f"unknown IL opcode {mnemonic!r}")

@@ -1,0 +1,51 @@
+"""IL assembly emitter.
+
+Renders an :class:`~repro.il.module.ILKernel` to textual IL closely modeled
+on the AMD IL the paper's generators emitted.  The output round-trips
+through :func:`repro.il.parser.parse_il`.
+"""
+
+from __future__ import annotations
+
+from repro.il.module import ILKernel
+from repro.il.types import MemorySpace, ShaderMode
+
+
+def emit_il(kernel: ILKernel) -> str:
+    """Render ``kernel`` as IL assembly text."""
+    lines: list[str] = [kernel.mode.il_prefix]
+    lines.append(f"; kernel: {kernel.name}")
+    lines.append(f"; dtype: {kernel.dtype.value}")
+    for key in sorted(kernel.metadata):
+        lines.append(f"; meta {key}: {kernel.metadata[key]}")
+
+    if kernel.mode is ShaderMode.PIXEL:
+        lines.append(
+            "dcl_input_position_interp(linear_noperspective) v0.xy__"
+        )
+    else:
+        lines.append("dcl_num_thread_per_group 64")
+        lines.append("dcl_absolute_thread_id v0")
+
+    if kernel.constants:
+        lines.append(f"dcl_cb cb0[{len(kernel.constants)}]")
+
+    for decl in kernel.inputs:
+        fmt = decl.dtype.value
+        if decl.space is MemorySpace.TEXTURE:
+            lines.append(
+                f"dcl_resource_id({decl.index})_type(2d,unnorm)_fmt({fmt})"
+            )
+        else:
+            lines.append(f"dcl_global_input({decl.index})_fmt({fmt})")
+
+    for decl in kernel.outputs:
+        fmt = decl.dtype.value
+        if decl.space is MemorySpace.COLOR_BUFFER:
+            lines.append(f"dcl_output_generic o{decl.index}")
+        else:
+            lines.append(f"dcl_global_output({decl.index})_fmt({fmt})")
+
+    lines.extend(str(instr) for instr in kernel.body)
+    lines.append("end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,43 @@
+"""R600/R700-family ISA program model.
+
+The compiler (:mod:`repro.compiler`) lowers IL kernels into the
+clause-structured form described in §II-A of the paper: TEX clauses holding
+fetch instructions, ALU clauses holding 5-wide VLIW bundles, and export
+clauses (``EXP_DONE``) writing the outputs.  Wavefronts switch between
+clauses of different wavefronts to hide latency — the simulator consumes
+this clause structure directly.
+"""
+
+from repro.isa.clauses import (
+    ALUClause,
+    ALUOp,
+    Bundle,
+    Clause,
+    ExportClause,
+    FetchInstr,
+    StoreInstr,
+    TEXClause,
+    ValueLocation,
+)
+from repro.isa.program import ISAProgram
+from repro.isa.disasm import disassemble
+from repro.isa.interp import ISAExecutionError, execute_program
+from repro.isa.stats import ISAStats, collect_stats
+
+__all__ = [
+    "ALUClause",
+    "ALUOp",
+    "Bundle",
+    "Clause",
+    "ExportClause",
+    "FetchInstr",
+    "ISAExecutionError",
+    "ISAProgram",
+    "ISAStats",
+    "StoreInstr",
+    "TEXClause",
+    "ValueLocation",
+    "collect_stats",
+    "disassemble",
+    "execute_program",
+]

@@ -1,0 +1,202 @@
+"""Clause and instruction records of the lowered ISA form.
+
+Values in the ISA live in one of three places (§II-A, Figure 2):
+
+* a **general-purpose register** (``R0..R255``) — survives across clauses;
+* a **clause temporary** (``T0``/``T1``) — live only within one clause, two
+  per wavefront slot;
+* the **previous vector** (``PV``) — the implicit result of the immediately
+  preceding VLIW bundle.
+
+VLIW bundles have four general slots (x, y, z, w) and one transcendental
+slot (t); instructions in the same bundle execute in the same cycles, so no
+instruction may read a value produced inside its own bundle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.il.opcodes import ILOp
+from repro.il.types import MemorySpace
+
+
+class ValueLocation(enum.Enum):
+    """Storage class of an ISA operand/result."""
+
+    GPR = "R"
+    CLAUSE_TEMP = "T"
+    PREVIOUS_VECTOR = "PV"
+    PREVIOUS_SCALAR = "PS"
+    CONSTANT = "KC"
+    LITERAL = "L"
+    POSITION = "R0IN"  #: the pre-loaded position/thread-id register
+
+
+_SLOT_LETTERS = ("x", "y", "z", "w", "t")
+
+
+@dataclass(frozen=True)
+class Value:
+    """A located value: location class plus index within that class.
+
+    For ``PREVIOUS_VECTOR`` the index is the *slot* (0..3 for x..w) of the
+    producing operation in the previous bundle — the paper's Figure 2
+    writes these as ``PV1.x`` etc.
+    """
+
+    location: ValueLocation
+    index: int = 0
+
+    def __str__(self) -> str:
+        if self.location is ValueLocation.PREVIOUS_VECTOR:
+            return f"PV.{_SLOT_LETTERS[self.index]}"
+        if self.location is ValueLocation.PREVIOUS_SCALAR:
+            return "PS"
+        if self.location is ValueLocation.POSITION:
+            return "R0"
+        return f"{self.location.value}{self.index}"
+
+
+_SLOT_NAMES = ("x", "y", "z", "w", "t")
+
+
+@dataclass(frozen=True)
+class ALUOp:
+    """One scalar/vector operation within a VLIW bundle."""
+
+    slot: str  #: one of x, y, z, w, t
+    op: ILOp
+    dest: Value | None  #: None when the result goes only to PV
+    sources: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        if self.slot not in _SLOT_NAMES:
+            raise ValueError(f"invalid VLIW slot {self.slot!r}")
+        if self.op.transcendental and self.slot != "t":
+            raise ValueError(
+                f"{self.op.mnemonic} is transcendental and must use the t slot"
+            )
+
+    def __str__(self) -> str:
+        dest = str(self.dest) if self.dest is not None else "____"
+        srcs = ", ".join(str(s) for s in self.sources)
+        return f"{self.slot}: {self.op.mnemonic.upper():<4} {dest}, {srcs}"
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """A VLIW instruction: up to five co-issued operations."""
+
+    ops: tuple[ALUOp, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("empty VLIW bundle")
+        if len(self.ops) > 5:
+            raise ValueError("VLIW bundle exceeds 5 slots")
+        slots = [op.slot for op in self.ops]
+        if len(set(slots)) != len(slots):
+            raise ValueError(f"duplicate VLIW slots in bundle: {slots}")
+
+    @property
+    def width(self) -> int:
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class Clause:
+    """Base class of the three clause kinds."""
+
+
+@dataclass(frozen=True)
+class FetchInstr:
+    """One fetch within a TEX clause (texture sample or global read)."""
+
+    dest: Value
+    resource: int
+    space: MemorySpace  #: TEXTURE or GLOBAL
+
+    def __post_init__(self) -> None:
+        if self.space not in (MemorySpace.TEXTURE, MemorySpace.GLOBAL):
+            raise ValueError(f"fetch from invalid space {self.space}")
+
+
+@dataclass(frozen=True)
+class TEXClause(Clause):
+    """A fetch clause: issued as one unit, switched at the boundary."""
+
+    fetches: tuple[FetchInstr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fetches:
+            raise ValueError("empty TEX clause")
+
+    @property
+    def count(self) -> int:
+        return len(self.fetches)
+
+    @property
+    def space(self) -> MemorySpace:
+        spaces = {f.space for f in self.fetches}
+        if len(spaces) != 1:
+            raise ValueError("TEX clause mixes texture and global fetches")
+        return next(iter(spaces))
+
+
+@dataclass(frozen=True)
+class ALUClause(Clause):
+    """An ALU clause: a run of VLIW bundles."""
+
+    bundles: tuple[Bundle, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bundles:
+            raise ValueError("empty ALU clause")
+
+    @property
+    def count(self) -> int:
+        """Number of VLIW bundles (= issue slots consumed)."""
+        return len(self.bundles)
+
+    @property
+    def op_count(self) -> int:
+        """Total scalar operations across all bundles."""
+        return sum(b.width for b in self.bundles)
+
+
+@dataclass(frozen=True)
+class StoreInstr:
+    """One output write within an export clause."""
+
+    target: int
+    space: MemorySpace  #: COLOR_BUFFER (streaming store) or GLOBAL
+    source: Value
+
+    def __post_init__(self) -> None:
+        if self.space not in (MemorySpace.COLOR_BUFFER, MemorySpace.GLOBAL):
+            raise ValueError(f"store to invalid space {self.space}")
+
+
+@dataclass(frozen=True)
+class ExportClause(Clause):
+    """The terminal export clause (``EXP_DONE`` in Figure 2)."""
+
+    stores: tuple[StoreInstr, ...]
+    done: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.stores:
+            raise ValueError("empty export clause")
+
+    @property
+    def count(self) -> int:
+        return len(self.stores)
+
+    @property
+    def space(self) -> MemorySpace:
+        spaces = {s.space for s in self.stores}
+        if len(spaces) != 1:
+            raise ValueError("export clause mixes color-buffer and global stores")
+        return next(iter(spaces))

@@ -1,0 +1,75 @@
+"""Figure-2-style disassembly of compiled programs.
+
+The output mimics the listing in the paper's Figure 2: numbered clause
+headers (``00 TEX: ... CNT(n)``), indented fetch/ALU lines, VLIW slots
+labeled x/y/z/w/t, clause temporaries ``T0``/``T1`` and the previous-vector
+register ``PV``.
+"""
+
+from __future__ import annotations
+
+from repro.il.types import MemorySpace, ShaderMode
+from repro.isa.clauses import ALUClause, ExportClause, TEXClause
+from repro.isa.program import ISAProgram
+
+
+def disassemble(program: ISAProgram) -> str:
+    """Render ``program`` as Figure-2-style text."""
+    lines = ["; -------- Disassembly --------------------"]
+    addr = 32  # cosmetic instruction address counter, as in the figure
+    instr_no = 0
+
+    for clause_no, clause in enumerate(program.clauses):
+        if isinstance(clause, TEXClause):
+            valid = (
+                " VALID_PIX" if program.mode is ShaderMode.PIXEL else ""
+            )
+            kind = "TEX" if clause.space is MemorySpace.TEXTURE else "MEM"
+            lines.append(
+                f"{clause_no:02d} {kind}: ADDR({addr}) CNT({clause.count}){valid}"
+            )
+            for fetch in clause.fetches:
+                if fetch.space is MemorySpace.TEXTURE:
+                    lines.append(
+                        f"      {instr_no:>3} SAMPLE {fetch.dest}, R0.xyxx, "
+                        f"t{fetch.resource}, s{fetch.resource}  UNNORM(XYZW)"
+                    )
+                else:
+                    lines.append(
+                        f"      {instr_no:>3} VFETCH {fetch.dest}, R0.x, "
+                        f"fc{fetch.resource}  MEGA(4)"
+                    )
+                instr_no += 1
+            addr += clause.count * 4
+        elif isinstance(clause, ALUClause):
+            lines.append(
+                f"{clause_no:02d} ALU: ADDR({addr}) CNT({clause.op_count})"
+            )
+            for bundle in clause.bundles:
+                first, *rest = bundle.ops
+                lines.append(f"      {instr_no:>3} {first}")
+                lines.extend(f"          {op}" for op in rest)
+                instr_no += 1
+            addr += clause.op_count
+        elif isinstance(clause, ExportClause):
+            done = "EXP_DONE" if clause.done else "EXP"
+            targets = ", ".join(
+                (
+                    f"PIX{store.target}, {store.source}"
+                    if store.space is MemorySpace.COLOR_BUFFER
+                    else f"MEM{store.target}, {store.source}"
+                )
+                for store in clause.stores
+            )
+            lines.append(f"{clause_no:02d} {done}: {targets}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown clause type {type(clause).__name__}")
+
+    lines.append("END_OF_PROGRAM")
+    lines.append("")
+    lines.append(
+        f"; GPRs used: {program.gpr_count}   clause temps: "
+        f"{program.clause_temp_count}   ALU:Fetch (SKA convention): "
+        f"{program.reported_alu_fetch_ratio():.2f}"
+    )
+    return "\n".join(lines)

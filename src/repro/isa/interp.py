@@ -1,0 +1,215 @@
+"""Numerical execution of compiled ISA programs.
+
+The IL interpreter (:mod:`repro.sim.functional`) defines kernel
+semantics; this module executes the *compiled* clause form — general
+purpose registers, the two clause temporaries, and the per-slot
+``PV``/``PS`` previous-bundle registers — so the test suite can prove the
+compiler preserves semantics end to end (VLIW packing, PV forwarding,
+clause-temp allocation and GPR reuse included).
+
+Bundle semantics follow the hardware: all operations in a bundle read
+their sources from the pre-bundle state (they co-issue), results commit
+together, and ``PV``/``PS`` expose them to exactly the next bundle.
+Clause temporaries "do not hold their value across clauses" (§II-A) and
+are invalidated at clause boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.il.module import ILKernel
+from repro.il.opcodes import ILOp
+from repro.il.types import MemorySpace
+from repro.isa.clauses import (
+    ALUClause,
+    ExportClause,
+    TEXClause,
+    Value,
+    ValueLocation,
+)
+from repro.isa.program import ISAProgram
+
+
+class ISAExecutionError(ValueError):
+    """Raised when a compiled program cannot be executed numerically."""
+
+
+_UNARY = {
+    ILOp.MOV: lambda a: a,
+    ILOp.FLR: np.floor,
+    ILOp.FRC: lambda a: a - np.floor(a),
+    ILOp.RCP: lambda a: np.reciprocal(a, where=a != 0, out=np.zeros_like(a)),
+    ILOp.RSQ: lambda a: np.where(a > 0, 1.0 / np.sqrt(np.abs(a) + 1e-30), 0.0),
+    ILOp.SQRT: lambda a: np.sqrt(np.abs(a)),
+    ILOp.EXP: np.exp,
+    ILOp.LOG: lambda a: np.log(np.abs(a) + 1e-30),
+    ILOp.SIN: np.sin,
+    ILOp.COS: np.cos,
+}
+
+_BINARY = {
+    ILOp.ADD: np.add,
+    ILOp.SUB: np.subtract,
+    ILOp.MUL: np.multiply,
+    ILOp.MIN: np.minimum,
+    ILOp.MAX: np.maximum,
+}
+
+
+def execute_program(
+    program: ISAProgram,
+    inputs: dict[int, np.ndarray],
+    domain: tuple[int, int],
+    constants: dict[int, np.ndarray | float] | None = None,
+) -> dict[int, np.ndarray]:
+    """Run a compiled program over ``domain`` and return output arrays.
+
+    Input/constant conventions match
+    :func:`repro.sim.functional.execute_kernel`, so the two executors are
+    directly comparable.
+    """
+    kernel = program.kernel
+    width, height = domain
+    components = kernel.dtype.components
+    shape = (height, width, components)
+    constants = constants or {}
+
+    arrays: dict[int, np.ndarray] = {}
+    for decl in kernel.inputs:
+        try:
+            raw = inputs[decl.index]
+        except KeyError:
+            raise ISAExecutionError(f"input {decl.index} not provided") from None
+        arr = np.asarray(raw, dtype=np.float32)
+        if arr.ndim == 2:
+            arr = arr[:, :, np.newaxis]
+        if arr.shape[:2] != (height, width):
+            raise ISAExecutionError(
+                f"input {decl.index} has shape {arr.shape[:2]}, expected "
+                f"{(height, width)}"
+            )
+        if arr.shape[2] == 1 and components > 1:
+            arr = np.broadcast_to(arr, shape)
+        elif arr.shape[2] != components:
+            raise ISAExecutionError(
+                f"input {decl.index} has {arr.shape[2]} components, kernel "
+                f"expects {components}"
+            )
+        arrays[decl.index] = arr
+
+    # R0 holds the position/thread id.
+    ys, xs = np.meshgrid(
+        np.arange(height, dtype=np.float32),
+        np.arange(width, dtype=np.float32),
+        indexing="ij",
+    )
+    position = np.zeros(shape, dtype=np.float32)
+    position[:, :, 0] = xs
+    if components > 1:
+        position[:, :, 1] = ys
+
+    gprs: dict[int, np.ndarray] = {0: position}
+    clause_temps: dict[int, np.ndarray] = {}
+    prev_vector: dict[int, np.ndarray] = {}
+    prev_scalar: np.ndarray | None = None
+    outputs: dict[int, np.ndarray] = {}
+
+    def read(value: Value) -> np.ndarray:
+        if value.location is ValueLocation.GPR:
+            try:
+                return gprs[value.index]
+            except KeyError:
+                raise ISAExecutionError(
+                    f"read of uninitialized R{value.index}"
+                ) from None
+        if value.location is ValueLocation.POSITION:
+            return position
+        if value.location is ValueLocation.CLAUSE_TEMP:
+            try:
+                return clause_temps[value.index]
+            except KeyError:
+                raise ISAExecutionError(
+                    f"read of dead clause temporary T{value.index}"
+                ) from None
+        if value.location is ValueLocation.PREVIOUS_VECTOR:
+            try:
+                return prev_vector[value.index]
+            except KeyError:
+                raise ISAExecutionError(
+                    f"no previous-bundle result in slot {value.index}"
+                ) from None
+        if value.location is ValueLocation.PREVIOUS_SCALAR:
+            if prev_scalar is None:
+                raise ISAExecutionError("no previous-bundle t-slot result")
+            return prev_scalar
+        if value.location is ValueLocation.CONSTANT:
+            raw = constants.get(value.index, 0.0)
+            if np.ndim(raw):
+                return np.broadcast_to(
+                    np.asarray(raw, dtype=np.float32).reshape(1, 1, -1), shape
+                )
+            return np.broadcast_to(np.float32(raw), shape)
+        raise ISAExecutionError(f"unreadable value {value}")
+
+    def write(value: Value, data: np.ndarray) -> None:
+        if value.location is ValueLocation.GPR:
+            gprs[value.index] = data
+        elif value.location is ValueLocation.CLAUSE_TEMP:
+            clause_temps[value.index] = data
+        else:
+            raise ISAExecutionError(f"unwritable destination {value}")
+
+    # float32 overflow in long chains is expected and must match the IL
+    # executor's behaviour (see repro.sim.functional).
+    with np.errstate(over="ignore", invalid="ignore"):
+        for clause in program.clauses:
+            if isinstance(clause, TEXClause):
+                for fetch in clause.fetches:
+                    write(fetch.dest, arrays[fetch.resource])
+                prev_vector, prev_scalar = {}, None
+                clause_temps.clear()
+            elif isinstance(clause, ALUClause):
+                clause_temps.clear()
+                prev_vector, prev_scalar = {}, None
+                for bundle in clause.bundles:
+                    # co-issue: read everything against pre-bundle state
+                    staged: list[tuple[Value, np.ndarray]] = []
+                    next_vector: dict[int, np.ndarray] = {}
+                    next_scalar: np.ndarray | None = None
+                    for op in bundle.ops:
+                        sources = [read(s) for s in op.sources]
+                        if op.op in _UNARY:
+                            result = _UNARY[op.op](sources[0])
+                        elif op.op in _BINARY:
+                            result = _BINARY[op.op](sources[0], sources[1])
+                        elif op.op is ILOp.MAD:
+                            result = sources[0] * sources[1] + sources[2]
+                        elif op.op is ILOp.DP4:
+                            dot = np.sum(
+                                sources[0] * sources[1], axis=2, keepdims=True
+                            )
+                            result = np.broadcast_to(dot, shape)
+                        else:  # pragma: no cover - defensive
+                            raise ISAExecutionError(
+                                f"unsupported opcode {op.op.mnemonic}"
+                            )
+                        result = np.asarray(result, dtype=np.float32)
+                        if op.dest is not None:
+                            staged.append((op.dest, result))
+                        if op.slot == "t":
+                            next_scalar = result
+                        else:
+                            next_vector["xyzw".index(op.slot)] = result
+                    for dest, result in staged:
+                        write(dest, result)
+                    prev_vector, prev_scalar = next_vector, next_scalar
+            elif isinstance(clause, ExportClause):
+                for store in clause.stores:
+                    outputs[store.target] = np.array(read(store.source))
+            else:  # pragma: no cover - defensive
+                raise ISAExecutionError(
+                    f"unknown clause {type(clause).__name__}"
+                )
+
+    return outputs

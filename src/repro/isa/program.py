@@ -1,0 +1,91 @@
+"""The lowered ISA program: an ordered clause list plus resource usage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.il.module import ILKernel
+from repro.il.types import DataType, MemorySpace, ShaderMode
+from repro.isa.clauses import ALUClause, Clause, ExportClause, TEXClause
+
+
+@dataclass(frozen=True)
+class ISAProgram:
+    """A compiled kernel ready for simulation.
+
+    ``gpr_count`` is the quantity the paper calls "global purpose registers
+    used" — it determines how many wavefronts fit on a SIMD engine
+    (§II-B).  ``clause_temp_count`` reports how many of the two per-slot
+    temporary clause registers the program needs.
+    """
+
+    kernel: ILKernel
+    clauses: tuple[Clause, ...]
+    gpr_count: int
+    clause_temp_count: int
+
+    def __post_init__(self) -> None:
+        if self.gpr_count < 1:
+            raise ValueError("a program uses at least one GPR")
+        if not (0 <= self.clause_temp_count <= 2):
+            raise ValueError("clause temporaries are limited to two per slot")
+        if not self.clauses:
+            raise ValueError("program has no clauses")
+        if not isinstance(self.clauses[-1], ExportClause):
+            raise ValueError("program must end with an export clause")
+
+    # ---- convenience views -------------------------------------------------
+    @property
+    def mode(self) -> ShaderMode:
+        return self.kernel.mode
+
+    @property
+    def dtype(self) -> DataType:
+        return self.kernel.dtype
+
+    def tex_clauses(self) -> Iterator[TEXClause]:
+        return (c for c in self.clauses if isinstance(c, TEXClause))
+
+    def alu_clauses(self) -> Iterator[ALUClause]:
+        return (c for c in self.clauses if isinstance(c, ALUClause))
+
+    def export_clauses(self) -> Iterator[ExportClause]:
+        return (c for c in self.clauses if isinstance(c, ExportClause))
+
+    @property
+    def fetch_count(self) -> int:
+        return sum(c.count for c in self.tex_clauses())
+
+    @property
+    def bundle_count(self) -> int:
+        """VLIW bundles across all ALU clauses — the cycle-relevant count."""
+        return sum(c.count for c in self.alu_clauses())
+
+    @property
+    def alu_op_count(self) -> int:
+        """Scalar ALU operations across all clauses."""
+        return sum(c.op_count for c in self.alu_clauses())
+
+    @property
+    def store_count(self) -> int:
+        return sum(c.count for c in self.export_clauses())
+
+    @property
+    def input_space(self) -> MemorySpace:
+        return self.kernel.input_space()
+
+    @property
+    def output_space(self) -> MemorySpace:
+        return self.kernel.output_space()
+
+    def reported_alu_fetch_ratio(self) -> float:
+        """The SKA-convention ALU:Fetch ratio (§III-A).
+
+        A reported 1.0 corresponds to 4 ALU bundles per fetch because a
+        fetch takes four times as long to issue as an ALU instruction.
+        """
+        fetches = self.fetch_count
+        if fetches == 0:
+            return float("inf")
+        return self.bundle_count / (4.0 * fetches)

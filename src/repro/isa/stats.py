@@ -1,0 +1,78 @@
+"""Static statistics over compiled programs (feeds the SKA clone)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.il.types import MemorySpace
+from repro.isa.clauses import ALUClause, ExportClause, TEXClause
+from repro.isa.program import ISAProgram
+
+
+@dataclass(frozen=True)
+class ISAStats:
+    """Aggregate counts of one compiled kernel."""
+
+    gpr_count: int
+    clause_temp_count: int
+    num_clauses: int
+    num_tex_clauses: int
+    num_alu_clauses: int
+    num_export_clauses: int
+    fetch_count: int
+    global_fetch_count: int
+    bundle_count: int
+    alu_op_count: int
+    transcendental_op_count: int
+    store_count: int
+    burst_store_count: int
+    reported_alu_fetch_ratio: float
+    #: average scalar ops per VLIW bundle — 1.0 for fully dependent chains.
+    packing_density: float
+
+
+def collect_stats(program: ISAProgram) -> ISAStats:
+    """Compute :class:`ISAStats` for a compiled program."""
+    num_tex = sum(1 for _ in program.tex_clauses())
+    num_alu = sum(1 for _ in program.alu_clauses())
+    num_exp = sum(1 for _ in program.export_clauses())
+
+    global_fetches = sum(
+        1
+        for clause in program.tex_clauses()
+        for fetch in clause.fetches
+        if fetch.space is MemorySpace.GLOBAL
+    )
+    burst_stores = sum(
+        1
+        for clause in program.export_clauses()
+        for store in clause.stores
+        if store.space is MemorySpace.COLOR_BUFFER
+    )
+    transcendental = sum(
+        1
+        for clause in program.alu_clauses()
+        for bundle in clause.bundles
+        for op in bundle.ops
+        if op.op.transcendental
+    )
+    bundles = program.bundle_count
+    ops = program.alu_op_count
+
+    return ISAStats(
+        gpr_count=program.gpr_count,
+        clause_temp_count=program.clause_temp_count,
+        num_clauses=len(program.clauses),
+        num_tex_clauses=num_tex,
+        num_alu_clauses=num_alu,
+        num_export_clauses=num_exp,
+        fetch_count=program.fetch_count,
+        global_fetch_count=global_fetches,
+        bundle_count=bundles,
+        alu_op_count=ops,
+        transcendental_op_count=transcendental,
+        store_count=program.store_count,
+        burst_store_count=burst_stores,
+        reported_alu_fetch_ratio=program.reported_alu_fetch_ratio(),
+        packing_density=(ops / bundles) if bundles else 0.0,
+    )

@@ -1,0 +1,88 @@
+"""The clause-usage control kernel (paper Figure 5).
+
+Identical ALU-clause structure to the register-usage kernel — the same
+inputs are consumed in the same blocks — but *all* sampling happens up
+front, so every input value stays live across the whole program and the
+GPR count does not drop as ``step`` grows.  The paper runs this control
+"to insure that the benefit did not come from fetch latency hiding" or
+from moving ALU operations across clauses: its execution time is constant
+over the step sweep, proving Figure 16's gains come from register
+pressure alone.
+"""
+
+from __future__ import annotations
+
+from repro.il.builder import ILBuilder
+from repro.il.module import ILKernel
+from repro.kernels.params import KernelParams
+from repro.kernels.register_usage import plan_blocks
+
+
+def generate_clause_usage(
+    params: KernelParams, name: str | None = None
+) -> ILKernel:
+    """Generate the Figure 5 control kernel for ``params``."""
+    budgets = plan_blocks(params)
+    initial_inputs = params.inputs - params.space * params.step
+
+    builder = ILBuilder(
+        name or f"clauseusage_s{params.space}_t{params.step}_{params.label()}",
+        params.mode,
+        params.dtype,
+    )
+    inputs = [
+        builder.declare_input(params.input_space) for _ in range(params.inputs)
+    ]
+    outputs = [
+        builder.declare_output(params.resolved_output_space)
+        for _ in range(params.outputs)
+    ]
+
+    # Sample(64): everything up front.
+    sampled = [builder.sample(decl) for decl in inputs]
+
+    chain: list = []
+
+    # Initial block consumes the first `initial_inputs` values.
+    ops_left = budgets[0]
+    if initial_inputs >= 2:
+        chain.append(builder.add(sampled[0], sampled[1]))
+        consume_from = 2
+    else:
+        chain.append(builder.add(sampled[0], sampled[0]))
+        consume_from = 1
+    ops_left -= 1
+    for x in range(consume_from, initial_inputs):
+        chain.append(builder.add(chain[-1], sampled[x]))
+        ops_left -= 1
+    while ops_left > 0:
+        second = chain[-2] if len(chain) >= 2 else sampled[0]
+        chain.append(builder.add(chain[-1], second))
+        ops_left -= 1
+
+    # Later blocks consume "use next 8 sampled here" groups.
+    cursor = initial_inputs
+    for block in range(1, params.step + 1):
+        ops_left = budgets[block]
+        for i in range(params.space):
+            chain.append(builder.add(chain[-1], sampled[cursor + i]))
+            ops_left -= 1
+        cursor += params.space
+        while ops_left > 0:
+            chain.append(builder.add(chain[-1], chain[-2]))
+            ops_left -= 1
+
+    for j, out in enumerate(outputs):
+        builder.store(out, chain[-1 - j])
+
+    return builder.build(
+        metadata={
+            "generator": "clause_usage",
+            "inputs": params.inputs,
+            "outputs": params.outputs,
+            "space": params.space,
+            "step": params.step,
+            "alu_ops": params.total_alu_ops,
+            "alu_fetch_ratio": params.alu_fetch_ratio,
+        }
+    )

@@ -1,0 +1,118 @@
+"""The register-usage kernel generator (paper Figure 6, example Figure 4).
+
+This is "the only micro-benchmark that changes the sequence in which
+operations are called" (§III-E): instead of sampling every input up front,
+sampling is spread across the program.  ``space`` fetches are grouped into
+each late TEX clause and ``step`` such clauses follow the initial bulk
+sample, so only ``inputs - space*step`` values (plus one in-flight group)
+are ever live simultaneously — directly controlling GPR pressure while the
+input count, output count, ALU-op count and ALU:Fetch ratio stay constant.
+
+Example (inputs=64, space=8, step=4) — the paper's Figure 4 layout::
+
+    Sample(32)
+    ALU ops (use the 32)
+    Sample(8);  ALU ops (use the 8)     # x4
+    Output
+"""
+
+from __future__ import annotations
+
+from repro.il.builder import ILBuilder
+from repro.il.module import ILKernel
+from repro.kernels.params import KernelParams, alu_ops_for_ratio
+
+
+def plan_blocks(params: KernelParams) -> list[int]:
+    """ALU-op budget per block (one initial + ``step`` late blocks).
+
+    The total is constant for a given (inputs, ratio) so that sweeping
+    ``step`` changes *only* register pressure — the property Figure 16
+    depends on.  Ops are distributed as evenly as the per-block input
+    consumption allows; each block must at least consume its group.
+    """
+    total = params.total_alu_ops
+    blocks = params.step + 1
+    initial_inputs = params.inputs - params.space * params.step
+    # minimum ops: the initial block chains its inputs (n-1 adds for the
+    # first block including the seed add), each later block consumes
+    # `space` inputs.
+    minima = [max(initial_inputs - 1, 1)] + [params.space] * params.step
+    if sum(minima) > total:
+        raise ValueError(
+            f"ALU budget {total} too small for {blocks} blocks needing "
+            f"{sum(minima)} ops"
+        )
+    spare = total - sum(minima)
+    base, extra = divmod(spare, blocks)
+    return [m + base + (1 if i < extra else 0) for i, m in enumerate(minima)]
+
+
+def generate_register_usage(
+    params: KernelParams, name: str | None = None
+) -> ILKernel:
+    """Generate the Figure 6 kernel for ``params``."""
+    budgets = plan_blocks(params)
+    initial_inputs = params.inputs - params.space * params.step
+
+    builder = ILBuilder(
+        name or f"regusage_s{params.space}_t{params.step}_{params.label()}",
+        params.mode,
+        params.dtype,
+    )
+    inputs = [
+        builder.declare_input(params.input_space) for _ in range(params.inputs)
+    ]
+    outputs = [
+        builder.declare_output(params.resolved_output_space)
+        for _ in range(params.outputs)
+    ]
+
+    chain: list = []
+
+    # ---- initial block: sample and consume the up-front inputs ----------
+    sampled = [builder.sample(inputs[i]) for i in range(initial_inputs)]
+    ops_left = budgets[0]
+    if initial_inputs >= 2:
+        chain.append(builder.add(sampled[0], sampled[1]))
+        ops_left -= 1
+        consume_from = 2
+    else:
+        chain.append(builder.add(sampled[0], sampled[0]))
+        ops_left -= 1
+        consume_from = 1
+    for x in range(consume_from, initial_inputs):
+        chain.append(builder.add(chain[-1], sampled[x]))
+        ops_left -= 1
+    while ops_left > 0:
+        second = chain[-2] if len(chain) >= 2 else sampled[0]
+        chain.append(builder.add(chain[-1], second))
+        ops_left -= 1
+
+    # ---- late blocks: Sample(space) then an ALU block using them --------
+    cursor = initial_inputs
+    for block in range(1, params.step + 1):
+        group = [builder.sample(inputs[cursor + i]) for i in range(params.space)]
+        cursor += params.space
+        ops_left = budgets[block]
+        for value in group:
+            chain.append(builder.add(chain[-1], value))
+            ops_left -= 1
+        while ops_left > 0:
+            chain.append(builder.add(chain[-1], chain[-2]))
+            ops_left -= 1
+
+    for j, out in enumerate(outputs):
+        builder.store(out, chain[-1 - j])
+
+    return builder.build(
+        metadata={
+            "generator": "register_usage",
+            "inputs": params.inputs,
+            "outputs": params.outputs,
+            "space": params.space,
+            "step": params.step,
+            "alu_ops": params.total_alu_ops,
+            "alu_fetch_ratio": params.alu_fetch_ratio,
+        }
+    )

@@ -1,0 +1,23 @@
+"""Figure/table regeneration, paper-vs-measured reporting, run comparison."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.compare import Comparison, SeriesDelta, compare_results
+from repro.reporting.figures import ascii_chart
+from repro.reporting.experiments import (
+    EXPECTATIONS,
+    Expectation,
+    check_expectations,
+    experiment_report,
+)
+
+__all__ = [
+    "Comparison",
+    "EXPECTATIONS",
+    "Expectation",
+    "ascii_chart",
+    "check_expectations",
+    "SeriesDelta",
+    "compare_results",
+    "experiment_report",
+    "render_table",
+]

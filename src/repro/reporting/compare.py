@@ -1,0 +1,114 @@
+"""Comparing two runs of the same figure.
+
+Useful for ablation studies (same figure under two ``SimConfig``s), for
+regression tracking across code versions, and for what-if hardware
+questions (same figure on a stock vs. modified :class:`GPUSpec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reporting.tables import render_table
+from repro.suite.results import ResultSet
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """Per-series comparison between a baseline and a candidate run."""
+
+    label: str
+    points_compared: int
+    #: mean of candidate/baseline time ratios over shared x values.
+    mean_ratio: float
+    #: largest relative deviation from the baseline at any shared x.
+    max_abs_relative_change: float
+
+    @property
+    def unchanged(self) -> bool:
+        return self.max_abs_relative_change < 0.01
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Full comparison of two result sets."""
+
+    baseline_name: str
+    candidate_name: str
+    deltas: tuple[SeriesDelta, ...]
+    #: labels present in only one of the two runs.
+    baseline_only: tuple[str, ...]
+    candidate_only: tuple[str, ...]
+
+    @property
+    def max_change(self) -> float:
+        if not self.deltas:
+            return 0.0
+        return max(d.max_abs_relative_change for d in self.deltas)
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                d.label,
+                str(d.points_compared),
+                f"{d.mean_ratio:.3f}x",
+                f"{d.max_abs_relative_change:+.1%}",
+                "=" if d.unchanged else "CHANGED",
+            )
+            for d in self.deltas
+        ]
+        table = render_table(
+            ("Series", "points", "mean ratio", "max change", ""), rows
+        )
+        extras = []
+        if self.baseline_only:
+            extras.append(f"only in baseline: {', '.join(self.baseline_only)}")
+        if self.candidate_only:
+            extras.append(f"only in candidate: {', '.join(self.candidate_only)}")
+        header = (
+            f"{self.candidate_name} vs baseline {self.baseline_name} "
+            f"(max change {self.max_change:.1%})"
+        )
+        return "\n".join([header, table, *extras])
+
+
+def compare_results(baseline: ResultSet, candidate: ResultSet) -> Comparison:
+    """Compare two runs series-by-series over their shared x values.
+
+    Raises :class:`ValueError` when the sets have no series in common —
+    comparing unrelated figures is a usage error, not a zero delta.
+    """
+    base_labels = set(baseline.labels())
+    cand_labels = set(candidate.labels())
+    shared = sorted(base_labels & cand_labels)
+    if not shared:
+        raise ValueError(
+            f"no shared series between {baseline.name!r} and "
+            f"{candidate.name!r}"
+        )
+
+    deltas = []
+    for label in shared:
+        base_points = {p.x: p.seconds for p in baseline.get(label).points}
+        cand_points = {p.x: p.seconds for p in candidate.get(label).points}
+        xs = sorted(set(base_points) & set(cand_points))
+        if not xs:
+            continue
+        ratios = [cand_points[x] / base_points[x] for x in xs]
+        max_change = max(abs(r - 1.0) for r in ratios)
+        deltas.append(
+            SeriesDelta(
+                label=label,
+                points_compared=len(xs),
+                mean_ratio=sum(ratios) / len(ratios),
+                max_abs_relative_change=max_change,
+            )
+        )
+
+    return Comparison(
+        baseline_name=baseline.name,
+        candidate_name=candidate.name,
+        deltas=tuple(deltas),
+        baseline_only=tuple(sorted(base_labels - cand_labels)),
+        candidate_only=tuple(sorted(cand_labels - base_labels)),
+    )

@@ -1,0 +1,492 @@
+"""Paper-vs-measured expectation checking.
+
+Every qualitative and quantitative claim the paper makes about its figures
+is encoded here as an :class:`Expectation` over regenerated
+:class:`~repro.suite.results.ResultSet` objects.  ``check_expectations``
+evaluates whichever expectations the supplied results cover, and
+``experiment_report`` renders the outcome as the table EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.analysis.fits import linear_fit, slope_ratio
+from repro.analysis.knees import find_knee
+from repro.reporting.tables import render_table
+from repro.suite.results import ResultSet, Series
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One checkable claim from the paper's evaluation section."""
+
+    figure: str
+    claim: str
+    requires: tuple[str, ...]
+    check: Callable[[dict[str, ResultSet]], tuple[str, bool]]
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    expectation: Expectation
+    measured: str
+    passed: bool
+
+
+# ---- helpers over result dictionaries -------------------------------------
+
+def _series(results: dict[str, ResultSet], figure: str, label: str) -> Series:
+    return results[figure].get(label)
+
+
+def _knee(results, figure, label, tolerance=0.05):
+    series = _series(results, figure, label)
+    return find_knee(series.xs(), series.ys(), tolerance=tolerance)
+
+
+def _plateau(results, figure, label) -> float:
+    return _knee(results, figure, label).plateau_seconds
+
+
+def _knee_in_band(figure, label, low, high, allow_beyond=False):
+    def check(results):
+        analysis = _knee(results, figure, label)
+        if analysis.knee_x is None:
+            return (f"knee beyond sweep (plateau to 8.0)", allow_beyond)
+        ok = low <= analysis.knee_x <= high
+        return (f"knee at {analysis.knee_x:g}", ok)
+
+    return check
+
+
+def _slope_ratio_band(figure, label_num, label_den, low, high):
+    def check(results):
+        num = _series(results, figure, label_num)
+        den = _series(results, figure, label_den)
+        ratio = slope_ratio(num.xs(), num.ys(), den.xs(), den.ys())
+        return (f"slope ratio {ratio:.2f}", low <= ratio <= high)
+
+    return check
+
+
+def _linearity(figure, labels=None, r2=0.97):
+    def check(results):
+        result = results[figure]
+        worst = 1.0
+        for series in result.series:
+            if labels is not None and series.label not in labels:
+                continue
+            fit = linear_fit(series.xs(), series.ys())
+            worst = min(worst, fit.r_squared)
+        return (f"min r^2 {worst:.3f}", worst >= r2)
+
+    return check
+
+
+# ---- the expectation registry -----------------------------------------------
+
+EXPECTATIONS: tuple[Expectation, ...] = (
+    # ------------------------------------------------------------- Figure 7
+    Expectation(
+        "fig7",
+        "4870 pixel float becomes ALU-bound at ratio ~1.25",
+        ("fig7",),
+        _knee_in_band("fig7", "4870 Pixel Float", 1.0, 1.75),
+    ),
+    Expectation(
+        "fig7",
+        "4870 pixel float4 becomes ALU-bound at ratio ~5.0",
+        ("fig7",),
+        _knee_in_band("fig7", "4870 Pixel Float4", 4.0, 6.5),
+    ),
+    Expectation(
+        "fig7",
+        "3870 pixel float becomes ALU-bound at ratio ~1.25",
+        ("fig7",),
+        _knee_in_band("fig7", "3870 Pixel Float", 1.0, 1.75),
+    ),
+    Expectation(
+        "fig7",
+        "3870 pixel float4 becomes ALU-bound at ratio ~5.0",
+        ("fig7",),
+        _knee_in_band("fig7", "3870 Pixel Float4", 3.5, 6.5),
+    ),
+    Expectation(
+        "fig7",
+        "5870 pixel float4 bottleneck does not change until ~9.0",
+        ("fig7",),
+        _knee_in_band("fig7", "5870 Pixel Float4", 7.5, 11.0, allow_beyond=True),
+    ),
+    Expectation(
+        "fig7",
+        "compute-mode (64x1) plateaus sit above pixel-mode plateaus",
+        ("fig7",),
+        lambda results: (
+            lambda pc, pp: (
+                f"compute/pixel plateau ratio {pc / pp:.2f}",
+                pc > pp,
+            )
+        )(
+            _plateau(results, "fig7", "4870 Compute Float4"),
+            _plateau(results, "fig7", "4870 Pixel Float4"),
+        ),
+    ),
+    Expectation(
+        "fig7",
+        "float and float4 pixel curves converge once ALU-bound (ratio 8)",
+        ("fig7",),
+        lambda results: (
+            lambda tf, tf4: (
+                f"t_float(8)={tf:.1f}s vs t_float4(8)={tf4:.1f}s",
+                abs(tf - tf4) / tf4 < 0.15,
+            )
+        )(
+            _series(results, "fig7", "4870 Pixel Float").ys()[-1],
+            _series(results, "fig7", "4870 Pixel Float4").ys()[-1],
+        ),
+    ),
+    # ------------------------------------------------------------- Figure 8
+    Expectation(
+        "fig8",
+        "a 4x16 block significantly improves RV770 compute float4 (~3x)",
+        ("fig7", "fig8"),
+        lambda results: (
+            lambda naive, tiled: (
+                f"64x1/4x16 plateau ratio {naive / tiled:.2f}",
+                naive / tiled >= 1.5,
+            )
+        )(
+            _plateau(results, "fig7", "4870 Compute Float4"),
+            _plateau(results, "fig8", "4870 Compute Float4"),
+        ),
+    ),
+    Expectation(
+        "fig8",
+        "a 4x16 block significantly improves RV870 compute float4 (~4x)",
+        ("fig7", "fig8"),
+        lambda results: (
+            lambda naive, tiled: (
+                f"64x1/4x16 plateau ratio {naive / tiled:.2f}",
+                naive / tiled >= 1.5,
+            )
+        )(
+            _plateau(results, "fig7", "5870 Compute Float4"),
+            _plateau(results, "fig8", "5870 Compute Float4"),
+        ),
+    ),
+    # ------------------------------------------------------------- Figure 9
+    Expectation(
+        "fig9",
+        "RV670 global reads significantly reduce performance vs texture",
+        ("fig7", "fig9"),
+        lambda results: (
+            lambda glob, tex: (
+                f"global/texture plateau ratio {glob / tex:.1f}",
+                glob / tex >= 3.0,
+            )
+        )(
+            _plateau(results, "fig9", "3870 Pixel Float"),
+            _plateau(results, "fig7", "3870 Pixel Float"),
+        ),
+    ),
+    Expectation(
+        "fig9",
+        "RV770 global read is the same or better than naive 64x1 texture "
+        "fetching in compute mode",
+        ("fig7", "fig9"),
+        lambda results: (
+            lambda glob, tex: (
+                f"global {glob:.1f}s vs compute-64x1 texture {tex:.1f}s",
+                glob <= tex * 1.25,
+            )
+        )(
+            _plateau(results, "fig9", "4870 Pixel Float4"),
+            _plateau(results, "fig7", "4870 Compute Float4"),
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 10
+    Expectation(
+        "fig10",
+        "little difference between Figures 9 and 10 for RV770/RV870 "
+        "(output is tiny next to the global-read input)",
+        ("fig9", "fig10"),
+        lambda results: (
+            lambda a, b: (
+                f"plateau difference {abs(a - b) / a:.0%}",
+                abs(a - b) / a <= 0.15,
+            )
+        )(
+            _plateau(results, "fig9", "4870 Pixel Float4"),
+            _plateau(results, "fig10", "4870 Pixel Float4"),
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 11
+    Expectation(
+        "fig11",
+        "texture fetch latency is linear in the number of inputs",
+        ("fig11",),
+        _linearity("fig11", r2=0.95),
+    ),
+    Expectation(
+        "fig11",
+        "time for n float4s ~= time for 4n floats (slope ratio ~4)",
+        ("fig11",),
+        _slope_ratio_band("fig11", "4870 Pixel Float4", "4870 Pixel Float", 3.0, 5.0),
+    ),
+    Expectation(
+        "fig11",
+        "fetch times reduce with each passing generation",
+        ("fig11",),
+        lambda results: (
+            lambda s67, s77, s87: (
+                f"slopes 3870={s67:.3f} 4870={s77:.3f} 5870={s87:.3f} s/input",
+                s67 > s77 > s87,
+            )
+        )(
+            linear_fit(*_xy(results, "fig11", "3870 Pixel Float4")).slope,
+            linear_fit(*_xy(results, "fig11", "4870 Pixel Float4")).slope,
+            linear_fit(*_xy(results, "fig11", "5870 Pixel Float4")).slope,
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 12
+    Expectation(
+        "fig12",
+        "global read latency ~same for float and float4 (vectorization free)",
+        ("fig12",),
+        _slope_ratio_band("fig12", "4870 Pixel Float4", "4870 Pixel Float", 0.8, 1.25),
+    ),
+    Expectation(
+        "fig12",
+        "dramatic global-read improvement from RV670 to RV770",
+        ("fig12",),
+        lambda results: (
+            lambda old, new: (
+                f"3870/4870 slope ratio {old / new:.1f}",
+                old / new >= 3.0,
+            )
+        )(
+            linear_fit(*_xy(results, "fig12", "3870 Pixel Float")).slope,
+            linear_fit(*_xy(results, "fig12", "4870 Pixel Float")).slope,
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 13
+    Expectation(
+        "fig13",
+        "streaming store latency is linear beyond the fetch-bound region",
+        ("fig13",),
+        lambda results: (
+            lambda series: (
+                lambda fit: (f"tail r^2 {fit.r_squared:.3f}", fit.r_squared >= 0.95)
+            )(linear_fit(series.xs()[3:], series.ys()[3:]))
+        )(_series(results, "fig13", "3870 Pixel Float")),
+    ),
+    Expectation(
+        "fig13",
+        "output vectorization yields the same or better streaming-store "
+        "performance per byte (slope ratio ~4 for 4x the data)",
+        ("fig13",),
+        _slope_ratio_band("fig13", "3870 Pixel Float4", "3870 Pixel Float", 2.8, 4.5),
+    ),
+    # ------------------------------------------------------------ Figure 14
+    Expectation(
+        "fig14",
+        "global write time for float is ~1/4th of float4 (per-float speed)",
+        ("fig14",),
+        lambda results: (
+            lambda ratio: (f"float4/float slope ratio {ratio:.2f}", 3.0 <= ratio <= 5.0)
+        )(
+            slope_ratio(
+                *_xy(results, "fig14", "3870 Pixel Float4"),
+                *_xy(results, "fig14", "3870 Pixel Float"),
+            )
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 15
+    Expectation(
+        "fig15a",
+        "execution time grows with domain size (ALU-bound kernel)",
+        ("fig15a",),
+        lambda results: (
+            lambda series: (
+                lambda ratio: (
+                    f"t(1024)/t(256) = {ratio:.1f} (ideal 16)",
+                    10.0 <= ratio <= 18.0,
+                )
+            )(series.ys()[-1] / series.ys()[0])
+        )(_series(results, "fig15a", "4870 Pixel Float")),
+    ),
+    Expectation(
+        "fig15a",
+        "generation ordering holds: 3870 slowest, 5870 fastest",
+        ("fig15a",),
+        lambda results: (
+            lambda a, b, c: (
+                f"t(1024): 3870={a:.1f}s 4870={b:.1f}s 5870={c:.1f}s",
+                a > b > c,
+            )
+        )(
+            _series(results, "fig15a", "3870 Pixel Float").ys()[-1],
+            _series(results, "fig15a", "4870 Pixel Float").ys()[-1],
+            _series(results, "fig15a", "5870 Pixel Float").ys()[-1],
+        ),
+    ),
+    Expectation(
+        "fig15a",
+        "the kernel is ALU-bound across the whole sweep",
+        ("fig15a",),
+        lambda results: (
+            lambda bounds: (
+                f"bounds seen: {sorted(set(bounds))}",
+                set(bounds) == {"alu"},
+            )
+        )(
+            [
+                p.bound
+                for s in results["fig15a"].series
+                for p in s.points
+            ]
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 16
+    Expectation(
+        "fig16",
+        "lower register pressure significantly improves RV670/RV770 "
+        "(latency hiding via more wavefronts)",
+        ("fig16",),
+        lambda results: (
+            lambda series: (
+                lambda hi, lo: (
+                    f"t(GPR~65)/t(GPR~17) = {hi / lo:.2f}",
+                    hi / lo >= 1.5,
+                )
+            )(series.ys()[_argmax_x(series)], min(series.ys()))
+        )(_series(results, "fig16", "4870 Pixel Float")),
+    ),
+    Expectation(
+        "fig16",
+        "the RV870 is impacted slightly less than the RV770",
+        ("fig16",),
+        lambda results: (
+            lambda r770, r870: (
+                f"improvement 4870 {r770:.2f}x vs 5870 {r870:.2f}x",
+                r770 > r870,
+            )
+        )(
+            _improvement(_series(results, "fig16", "4870 Pixel Float")),
+            _improvement(_series(results, "fig16", "5870 Pixel Float")),
+        ),
+    ),
+    Expectation(
+        "fig16",
+        "in some cases more wavefronts decrease performance (cache hits)",
+        ("fig16",),
+        lambda results: (
+            lambda upticks: (
+                f"{upticks} series end above their minimum",
+                upticks >= 1,
+            )
+        )(
+            sum(
+                1
+                for s in results["fig16"].series
+                if _sorted_ys(s)[0] > min(s.ys()) * 1.02
+            )
+        ),
+    ),
+    # ------------------------------------------------------- Figure 5 control
+    Expectation(
+        "fig5ctl",
+        "sampling everything up front (same clause layout) gives constant "
+        "time — the gain really is register pressure",
+        ("fig5ctl",),
+        lambda results: (
+            lambda spreads: (
+                f"max spread {max(spreads):.1%}",
+                max(spreads) <= 0.05,
+            )
+        )(
+            [
+                (max(s.ys()) - min(s.ys())) / min(s.ys())
+                for s in results["fig5ctl"].series
+            ]
+        ),
+    ),
+    # ------------------------------------------------------------ Figure 17
+    Expectation(
+        "fig17",
+        "with a 4x16 block the RV770 still degrades at high wavefront "
+        "counts, but stays faster than its 64x1 counterpart",
+        ("fig16", "fig17"),
+        lambda results: (
+            lambda tiled, naive: (
+                f"4x16 best {min(tiled.ys()):.1f}s vs 64x1 best "
+                f"{min(naive.ys()):.1f}s",
+                min(tiled.ys()) < min(naive.ys()),
+            )
+        )(
+            _series(results, "fig17", "4870 Compute Float4"),
+            _series(results, "fig16", "4870 Compute Float4"),
+        ),
+    ),
+)
+
+
+def _xy(results, figure, label):
+    series = _series(results, figure, label)
+    return series.xs(), series.ys()
+
+
+def _argmax_x(series: Series) -> int:
+    xs = series.xs()
+    return xs.index(max(xs))
+
+
+def _sorted_ys(series: Series) -> list[float]:
+    """ys ordered by ascending x (register figures plot descending GPRs)."""
+    return [p.seconds for p in sorted(series.points, key=lambda p: p.x)]
+
+
+def _improvement(series: Series) -> float:
+    """Worst-to-best time ratio across a register-pressure sweep."""
+    return series.ys()[_argmax_x(series)] / min(series.ys())
+
+
+def check_expectations(
+    results: dict[str, ResultSet]
+) -> list[ExpectationResult]:
+    """Evaluate every expectation whose required figures are present."""
+    outcomes: list[ExpectationResult] = []
+    for expectation in EXPECTATIONS:
+        if not all(figure in results for figure in expectation.requires):
+            continue
+        try:
+            measured, passed = expectation.check(results)
+        except (KeyError, ValueError, ZeroDivisionError, IndexError) as exc:
+            # A partial run (subset of series) cannot satisfy the claim.
+            measured, passed = f"not evaluable: {exc}", False
+        outcomes.append(ExpectationResult(expectation, measured, passed))
+    return outcomes
+
+
+def experiment_report(
+    results: dict[str, ResultSet], markdown: bool = True
+) -> str:
+    """Render the paper-vs-measured table for EXPERIMENTS.md."""
+    outcomes = check_expectations(results)
+    rows = [
+        (
+            o.expectation.figure,
+            o.expectation.claim,
+            o.measured,
+            "PASS" if o.passed else "DEVIATES",
+        )
+        for o in outcomes
+    ]
+    table = render_table(
+        ("Figure", "Paper claim", "Measured", "Status"), rows, markdown=markdown
+    )
+    passed = sum(1 for o in outcomes if o.passed)
+    return f"{table}\n\n{passed}/{len(outcomes)} expectations hold.\n"

@@ -1,0 +1,65 @@
+"""ASCII charts of result sets — terminal-native figure regeneration."""
+
+from __future__ import annotations
+
+from repro.suite.results import ResultSet, Series
+
+#: symbols assigned to series, in order (the paper's figures hold up to 10).
+MARKERS = "ox+*#@%&^~"
+
+
+def ascii_chart(
+    result: ResultSet,
+    width: int = 72,
+    height: int = 20,
+    series_labels: list[str] | None = None,
+) -> str:
+    """Render a result set as a character-grid scatter plot.
+
+    Intended for quick terminal inspection of the regenerated figures —
+    the CSV/JSON exports carry the exact numbers.
+    """
+    selected = (
+        [result.get(label) for label in series_labels]
+        if series_labels is not None
+        else result.series
+    )
+    selected = [s for s in selected if len(s) > 0]
+    if not selected:
+        raise ValueError(f"{result.name}: nothing to plot")
+
+    xs = [x for s in selected for x in s.xs()]
+    ys = [y for s in selected for y in s.ys()]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0.0, max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(selected):
+        marker = MARKERS[index % len(MARKERS)]
+        for point in series:
+            col = int((point.x - x_min) / x_span * (width - 1))
+            row = height - 1 - int(
+                (point.seconds - y_min) / y_span * (height - 1)
+            )
+            grid[row][col] = marker
+
+    axis_width = 8
+    lines = [result.title.center(width + axis_width)]
+    for row_index, row in enumerate(grid):
+        value = y_max - (row_index / (height - 1)) * y_span
+        lines.append(f"{value:7.1f} |" + "".join(row))
+    lines.append(" " * axis_width + "-" * width)
+    lines.append(
+        " " * axis_width
+        + f"{x_min:g}".ljust(width - 10)
+        + f"{x_max:g}".rjust(10)
+    )
+    lines.append(" " * axis_width + result.x_label.center(width))
+    legend = [
+        f"{MARKERS[i % len(MARKERS)]} {s.label}" for i, s in enumerate(selected)
+    ]
+    lines.append("")
+    lines.extend("  " + entry for entry in legend)
+    return "\n".join(lines)

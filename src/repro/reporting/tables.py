@@ -1,0 +1,41 @@
+"""Fixed-width and Markdown table rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    markdown: bool = False,
+) -> str:
+    """Render a table as fixed-width text or GitHub Markdown."""
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, headers have {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    if markdown:
+        def fmt(row: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                c.ljust(w) for c, w in zip(row, widths)
+            ) + " |"
+
+        lines = [fmt(headers)]
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        lines.extend(fmt(r) for r in cells)
+        return "\n".join(lines)
+
+    def fmt_plain(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = [fmt_plain(headers), fmt_plain(["-" * w for w in widths])]
+    lines.extend(fmt_plain(r) for r in cells)
+    return "\n".join(lines)

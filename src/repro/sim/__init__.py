@@ -1,0 +1,47 @@
+"""Timing simulator for the R600/R700/Evergreen GPU family.
+
+This package is the hardware substitute (see DESIGN.md §2/§4).  A compiled
+:class:`~repro.isa.program.ISAProgram` is turned into a per-wavefront
+sequence of clause costs (:mod:`repro.sim.wavefront`), and a discrete-event
+model of one SIMD engine (:mod:`repro.sim.simd`) executes the resident
+wavefront set against three shared resources — the ALU pipeline, the
+texture-fetch quartet and the export path.  Latency hiding is emergent:
+wavefronts switch at clause boundaries exactly as §II-A describes, so more
+resident wavefronts (fewer GPRs) hide more fetch latency.
+
+Cost model summary (full derivation in DESIGN.md §4):
+
+* ALU clause: ``bundles x 4`` cycles; doubled when a single wavefront
+  leaves the odd/even slots half-used.
+* TEX clause (texture): per fetch ``max(issue 16, miss_bytes / DRAM share)``
+  with miss traffic from the analytic tiled-cache model in
+  :mod:`repro.sim.cache`; one L1+miss latency exposure per clause.
+* TEX clause (global): uncached — full data over the global-read path.
+* Export clause: burst-combined color-buffer stores pay per-byte
+  bandwidth through the export path (with a small per-store floor);
+  global writes pay per-byte write bandwidth on the faster store path.
+
+Memory paths additionally saturate with resident-wavefront count via a
+Little's-law term (few wavefronts cannot fill a deep memory pipeline).
+"""
+
+from repro.sim.config import LaunchConfig, SimConfig
+from repro.sim.engine import LaunchResult, simulate_launch
+from repro.sim.counters import Counters, Resource
+from repro.sim.rasterizer import AccessPattern, access_pattern, total_wavefronts
+from repro.sim.trace import TraceEvent, render_gantt, trace_launch
+
+__all__ = [
+    "AccessPattern",
+    "Counters",
+    "LaunchConfig",
+    "LaunchResult",
+    "Resource",
+    "SimConfig",
+    "TraceEvent",
+    "access_pattern",
+    "render_gantt",
+    "simulate_launch",
+    "total_wavefronts",
+    "trace_launch",
+]

@@ -1,0 +1,143 @@
+"""Analytic texture-L1 model.
+
+Texture memory is tiled: one cache line holds a 2-D block of texels
+(4x4 floats or 2x2 float4s for a 64-byte line).  Each texel of a streaming
+kernel is read exactly once per iteration, so *all* reuse is spatial —
+within lines — and the interesting quantity is **overfetch**: how many
+times each line is transferred from DRAM before all its texels are
+consumed.
+
+* A wavefront whose footprint covers a line's full height consumes the
+  line in one visit: overfetch 1.  This is the pixel-mode tiled walk and
+  the optimized 4x16 compute block.
+* A 64x1 walk consumes one row of each line per visit; the remaining rows
+  are consumed by wavefronts ``reuse_distance`` launches later.  The line
+  survives until then only if the intervening traffic fits in the cache —
+  and a 1-D walk can exploit only half of the 2-D-organized capacity
+  (§IV-A).  The surviving fraction interpolates the overfetch between 1
+  and the tile height.
+
+Capacity pressure from many resident wavefronts additionally degrades the
+texture path's effective bandwidth (the Figure 16/17 "decline in cache
+hits with an increase in simultaneously executing wavefronts").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.specs import CacheSpec, GPUSpec
+from repro.il.types import DataType
+from repro.sim.config import SimConfig
+from repro.sim.rasterizer import AccessPattern
+
+
+@dataclass(frozen=True)
+class FetchCostModel:
+    """Per-fetch-instruction cache behaviour for one (kernel, launch) pair."""
+
+    #: bytes transferred from DRAM per fetch instruction per wavefront.
+    miss_bytes: float
+    #: line-transfer multiplier (1.0 = every line fetched exactly once).
+    overfetch: float
+    #: texture-path bandwidth derating from resident-set capacity pressure.
+    bandwidth_efficiency: float
+    #: fraction of requested bytes served from L1 (for counters/repor ting).
+    hit_rate: float
+    #: latency of one fetch clause exposure, in core cycles.
+    latency_cycles: float
+
+
+def effective_capacity(cache: CacheSpec, pattern: AccessPattern) -> float:
+    """Usable L1 bytes for this access pattern.
+
+    A 1-D (64x1) walk addresses only one row of the cache's 2-D
+    organization: "only half the cache is used" (§IV-A).
+    """
+    if pattern.one_dimensional:
+        return cache.size_bytes * cache.one_d_utilization
+    return float(cache.size_bytes)
+
+
+def texture_fetch_cost(
+    gpu: GPUSpec,
+    dtype: DataType,
+    pattern: AccessPattern,
+    num_inputs: int,
+    resident_wavefronts: int,
+    sim: SimConfig,
+) -> FetchCostModel:
+    """Evaluate the cache model for one fetch instruction (64 texels)."""
+    cache = gpu.texture_l1
+    texel_bytes = dtype.bytes
+    wavefront_bytes = gpu.wavefront_size * texel_bytes
+
+    if not sim.cache_model:
+        return FetchCostModel(
+            miss_bytes=float(wavefront_bytes),
+            overfetch=1.0,
+            bandwidth_efficiency=1.0,
+            hit_rate=0.0,
+            latency_cycles=float(
+                cache.hit_latency_cycles + cache.miss_latency_cycles
+            ),
+        )
+
+    capacity = effective_capacity(cache, pattern)
+    tile_w, tile_h = cache.tile_shape(texel_bytes)
+    fw, fh = pattern.footprint
+
+    # Rows of each line consumed per wavefront visit.
+    rows_covered = min(fh, tile_h)
+    visits_needed = tile_h / rows_covered  # 1.0 when the footprint spans lines
+
+    if visits_needed <= 1.0:
+        overfetch = 1.0
+    else:
+        # Will the line survive until the wavefront covering the next rows?
+        # The survival probability follows a square-root law in the
+        # capacity-to-window ratio: even a nominally overcommitted stream
+        # keeps its most recent lines resident (LRU protects the young).
+        per_wavefront_traffic = num_inputs * wavefront_bytes
+        window = pattern.reuse_distance * per_wavefront_traffic
+        survive = (
+            min(1.0, math.sqrt(capacity / window)) if window > 0 else 1.0
+        )
+        # Interpolate: full survival -> 1 transfer; none -> one per visit.
+        overfetch = visits_needed / (1.0 + (visits_needed - 1.0) * survive)
+
+    miss_bytes = wavefront_bytes * overfetch
+
+    # Resident-set capacity pressure -> bandwidth derating (the Figure
+    # 16/17 cache-hit decline with many simultaneous wavefronts).  Below
+    # the threshold the L1 absorbs the resident footprint outright.
+    pressure = (
+        resident_wavefronts * num_inputs * wavefront_bytes / capacity
+        if capacity > 0
+        else float("inf")
+    )
+    relative = pressure / sim.pressure_threshold
+    if relative > 1.0 and sim.thrash_coeff > 0:
+        efficiency = 1.0 / (1.0 + sim.thrash_coeff * math.log2(relative))
+    else:
+        efficiency = 1.0
+
+    requested = wavefront_bytes
+    hit_rate = max(0.0, 1.0 - miss_bytes / (requested * tile_h / rows_covered))
+    # hit_rate is reported per *line transfer opportunity*: with no reuse a
+    # 1-D walk misses on every visit (hit_rate 0); full reuse gives
+    # (visits-1)/visits of visits hitting.
+    if visits_needed > 1.0:
+        hit_rate = max(0.0, 1.0 - overfetch / visits_needed)
+    else:
+        hit_rate = 1.0 - 1.0 / tile_h  # spatial hits within the first visit
+
+    latency = float(cache.hit_latency_cycles + cache.miss_latency_cycles)
+    return FetchCostModel(
+        miss_bytes=miss_bytes,
+        overfetch=overfetch,
+        bandwidth_efficiency=efficiency,
+        hit_rate=hit_rate,
+        latency_cycles=latency,
+    )

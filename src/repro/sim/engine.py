@@ -1,0 +1,108 @@
+"""Whole-GPU launch simulation: ISA program + launch config -> seconds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+from repro.il.types import ShaderMode
+from repro.isa.program import ISAProgram
+from repro.sim.config import LaunchConfig, SimConfig
+from repro.sim.counters import Bound, Counters, Resource
+from repro.sim.memory import MemoryPaths
+from repro.sim.rasterizer import access_pattern, total_wavefronts, wavefronts_per_simd
+from repro.sim.scheduler import resident_wavefronts
+from repro.sim.simd import simulate_simd
+from repro.sim.wavefront import build_wavefront_program
+
+
+class SimulationError(ValueError):
+    """Raised for launches the modeled hardware cannot execute."""
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Timing and counters of one simulated kernel launch.
+
+    ``seconds`` covers all ``iterations`` repetitions — the quantity the
+    paper plots.  ``cycles`` is the makespan of a single iteration on the
+    busiest SIMD engine.
+    """
+
+    program: ISAProgram
+    gpu: GPUSpec
+    launch: LaunchConfig
+    cycles: float
+    seconds: float
+    counters: Counters
+
+    @property
+    def bottleneck(self) -> Bound:
+        return self.counters.bottleneck()
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.seconds / self.launch.iterations
+
+    def summary(self) -> str:
+        return (
+            f"{self.program.kernel.name} on {self.gpu.chip} "
+            f"[{self.launch.mode.value}]: {self.seconds:.3f}s "
+            f"({self.counters.summary()})"
+        )
+
+
+def simulate_launch(
+    program: ISAProgram,
+    gpu: GPUSpec,
+    launch: LaunchConfig | None = None,
+    sim: SimConfig | None = None,
+) -> LaunchResult:
+    """Simulate running ``program`` on ``gpu`` under ``launch``.
+
+    Raises :class:`SimulationError` for impossible combinations: compute
+    shader mode on the RV670 (§IV: "The RV670 ... does not support compute
+    shader mode") or a launch mode that does not match the program's.
+    """
+    launch = launch or LaunchConfig()
+    sim = sim or SimConfig()
+
+    if program.mode is not launch.mode:
+        raise SimulationError(
+            f"program compiled for {program.mode.value} shader mode cannot "
+            f"launch in {launch.mode.value} mode"
+        )
+    if launch.mode is ShaderMode.COMPUTE and not gpu.supports_compute_shader:
+        raise SimulationError(
+            f"{gpu.chip} does not support compute shader mode (paper §IV)"
+        )
+
+    pattern = access_pattern(launch, sim)
+    total = total_wavefronts(launch)
+    on_simd = wavefronts_per_simd(launch, gpu.num_simds)
+    resident = resident_wavefronts(program, gpu, on_simd, sim)
+
+    paths = MemoryPaths.for_gpu(gpu)
+    wf_program = build_wavefront_program(
+        program, gpu, pattern, resident, sim, paths
+    )
+    result = simulate_simd(wf_program, resident, on_simd, sim)
+
+    seconds = result.makespan_cycles / gpu.core_clock_hz * launch.iterations
+    counters = Counters(
+        makespan_cycles=result.makespan_cycles,
+        busy_cycles=result.busy_cycles,
+        wavefronts_simulated=result.wavefronts_simulated,
+        wavefronts_total=total,
+        resident_wavefronts=resident,
+        texture_hit_rate=wf_program.texture_hit_rate,
+        texture_overfetch=wf_program.texture_overfetch,
+    )
+    return LaunchResult(
+        program=program,
+        gpu=gpu,
+        launch=launch,
+        cycles=result.makespan_cycles,
+        seconds=seconds,
+        counters=counters,
+    )

@@ -1,0 +1,162 @@
+"""Functional (numerical) execution of IL kernels.
+
+The timing simulator answers "how long"; this module answers "what values".
+Kernels in the suite are element-wise — every thread samples its own
+coordinate — so execution vectorizes over the whole domain: each IL
+instruction becomes one NumPy array operation (per the repository's
+HPC-Python guideline of vectorizing hot loops).
+
+Arrays are ``float32`` with shape ``(height, width, components)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.il.instructions import (
+    ALUInstruction,
+    ExportInstruction,
+    GlobalLoadInstruction,
+    GlobalStoreInstruction,
+    Register,
+    RegisterFile,
+    SampleInstruction,
+)
+from repro.il.module import ILKernel
+from repro.il.opcodes import ILOp
+from repro.il.types import DataType
+
+
+class ExecutionError(ValueError):
+    """Raised when a kernel cannot be executed numerically."""
+
+
+_UNARY = {
+    ILOp.MOV: lambda a: a,
+    ILOp.FLR: np.floor,
+    ILOp.FRC: lambda a: a - np.floor(a),
+    ILOp.RCP: lambda a: np.reciprocal(a, where=a != 0, out=np.zeros_like(a)),
+    ILOp.RSQ: lambda a: np.where(a > 0, 1.0 / np.sqrt(np.abs(a) + 1e-30), 0.0),
+    ILOp.SQRT: lambda a: np.sqrt(np.abs(a)),
+    ILOp.EXP: np.exp,
+    ILOp.LOG: lambda a: np.log(np.abs(a) + 1e-30),
+    ILOp.SIN: np.sin,
+    ILOp.COS: np.cos,
+}
+
+_BINARY = {
+    ILOp.ADD: np.add,
+    ILOp.SUB: np.subtract,
+    ILOp.MUL: np.multiply,
+    ILOp.MIN: np.minimum,
+    ILOp.MAX: np.maximum,
+}
+
+
+def execute_kernel(
+    kernel: ILKernel,
+    inputs: dict[int, np.ndarray],
+    domain: tuple[int, int],
+    constants: dict[int, np.ndarray | float] | None = None,
+) -> dict[int, np.ndarray]:
+    """Run ``kernel`` over ``domain`` and return its output arrays.
+
+    ``inputs`` maps input index -> array of shape (height, width) or
+    (height, width, components); outputs are keyed by output index with
+    shape (height, width, components).
+    """
+    width, height = domain
+    components = kernel.dtype.components
+    shape = (height, width, components)
+    constants = constants or {}
+
+    arrays: dict[int, np.ndarray] = {}
+    for decl in kernel.inputs:
+        try:
+            raw = inputs[decl.index]
+        except KeyError:
+            raise ExecutionError(f"input {decl.index} not provided") from None
+        arr = np.asarray(raw, dtype=np.float32)
+        if arr.ndim == 2:
+            arr = arr[:, :, np.newaxis]
+        if arr.shape[:2] != (height, width):
+            raise ExecutionError(
+                f"input {decl.index} has shape {arr.shape[:2]}, expected "
+                f"{(height, width)}"
+            )
+        if arr.shape[2] == 1 and components > 1:
+            arr = np.broadcast_to(arr, shape)
+        elif arr.shape[2] != components:
+            raise ExecutionError(
+                f"input {decl.index} has {arr.shape[2]} components, kernel "
+                f"expects {components}"
+            )
+        arrays[decl.index] = arr
+
+    regs: dict[Register, np.ndarray] = {}
+    outputs: dict[int, np.ndarray] = {}
+
+    def read(reg: Register, negate: bool = False) -> np.ndarray:
+        if reg.file is RegisterFile.CONST:
+            value = constants.get(reg.index, 0.0)
+            arr = np.broadcast_to(
+                np.asarray(value, dtype=np.float32).reshape(1, 1, -1)
+                if np.ndim(value)
+                else np.float32(value),
+                shape,
+            )
+        elif reg.file is RegisterFile.POSITION:
+            ys, xs = np.meshgrid(
+                np.arange(height, dtype=np.float32),
+                np.arange(width, dtype=np.float32),
+                indexing="ij",
+            )
+            arr = np.zeros(shape, dtype=np.float32)
+            arr[:, :, 0] = xs
+            if components > 1:
+                arr[:, :, 1] = ys
+        else:
+            try:
+                arr = regs[reg]
+            except KeyError:
+                raise ExecutionError(f"read of undefined register {reg}") from None
+        return -arr if negate else arr
+
+    # Long dependent chains legitimately overflow float32 (the chain's
+    # input weights grow like Fibonacci numbers); infinities propagate
+    # consistently through both this executor and the ISA interpreter.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for instr in kernel.body:
+            if isinstance(instr, SampleInstruction):
+                regs[instr.dest] = arrays[instr.resource]
+            elif isinstance(instr, GlobalLoadInstruction):
+                regs[instr.dest] = arrays[instr.offset]
+            elif isinstance(instr, ALUInstruction):
+                srcs = [read(s.register, s.negate) for s in instr.sources]
+                op = instr.op
+                if op in _UNARY:
+                    result = _UNARY[op](srcs[0])
+                elif op in _BINARY:
+                    result = _BINARY[op](srcs[0], srcs[1])
+                elif op is ILOp.MAD:
+                    result = srcs[0] * srcs[1] + srcs[2]
+                elif op is ILOp.DP4:
+                    dot = np.sum(srcs[0] * srcs[1], axis=2, keepdims=True)
+                    result = np.broadcast_to(dot, shape)
+                else:  # pragma: no cover - defensive
+                    raise ExecutionError(f"unsupported opcode {op.mnemonic}")
+                regs[instr.dest] = np.asarray(result, dtype=np.float32)
+            elif isinstance(instr, ExportInstruction):
+                outputs[instr.target] = np.array(
+                    read(instr.source.register, instr.source.negate),
+                    dtype=np.float32,
+                )
+            elif isinstance(instr, GlobalStoreInstruction):
+                outputs[instr.offset] = np.array(
+                    read(instr.source.register, instr.source.negate),
+                    dtype=np.float32,
+                )
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unsupported instruction {instr!r}")
+
+    return outputs

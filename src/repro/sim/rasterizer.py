@@ -1,0 +1,83 @@
+"""Thread-to-domain mapping: pixel-mode rasterization vs. compute blocks.
+
+Pixel shader mode walks the domain in 8x8 tiles of 2x2 quads — "the pixel
+shader mode is executed in a tiled access similar to the cache" (§IV-A) —
+so a wavefront's 64 threads cover an 8x8 screen region and tile-neighbour
+wavefronts are launched close together.
+
+Compute shader mode is linear: the programmer picks a block shape (64x1
+naive, 4x16 optimized) and the domain is padded to whole blocks, "the
+compute shader mode requires that the elements be padded to 64" (§IV-D).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.il.types import ShaderMode
+from repro.sim.config import LaunchConfig, SimConfig
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """What the cache model needs to know about a launch's memory walk."""
+
+    #: footprint of one wavefront over the 2-D domain, in texels.
+    footprint: tuple[int, int]
+    #: True when consecutive wavefronts follow a locality-preserving 2-D
+    #: tile order (pixel mode); False for linear (compute) launches.
+    tiled: bool
+    #: wavefronts launched between a wavefront and the neighbour that
+    #: continues its cache lines in Y.
+    reuse_distance: float
+    domain: tuple[int, int]
+
+    @property
+    def one_dimensional(self) -> bool:
+        """True for footprints one texel tall (the naive 64x1 walk)."""
+        return self.footprint[1] == 1
+
+
+def access_pattern(launch: LaunchConfig, sim: SimConfig | None = None) -> AccessPattern:
+    """Describe the memory-access geometry of a launch."""
+    sim = sim or SimConfig()
+    width, height = launch.domain
+    if launch.mode is ShaderMode.PIXEL:
+        return AccessPattern(
+            footprint=(8, 8),
+            tiled=True,
+            reuse_distance=sim.tiled_reuse_distance,
+            domain=launch.domain,
+        )
+    bw, bh = launch.block
+    # Linear launch: the next wavefront down is a full block-row away.
+    blocks_per_row = max(1.0, width / bw)
+    return AccessPattern(
+        footprint=(bw, bh),
+        tiled=False,
+        reuse_distance=blocks_per_row,
+        domain=launch.domain,
+    )
+
+
+def total_wavefronts(launch: LaunchConfig) -> int:
+    """Number of 64-thread wavefronts the launch dispatches.
+
+    Pixel mode rounds the domain up to whole 8x8 tiles (the rasterizer
+    emits helper pixels at the edges); compute mode pads to whole blocks.
+    """
+    width, height = launch.domain
+    if launch.mode is ShaderMode.PIXEL:
+        tiles_x = math.ceil(width / 8)
+        tiles_y = math.ceil(height / 8)
+        return tiles_x * tiles_y
+    bw, bh = launch.block
+    blocks_x = math.ceil(width / bw)
+    blocks_y = math.ceil(height / bh)
+    return blocks_x * blocks_y
+
+
+def wavefronts_per_simd(launch: LaunchConfig, num_simds: int) -> int:
+    """Wavefronts assigned to the busiest SIMD engine."""
+    return math.ceil(total_wavefronts(launch) / num_simds)

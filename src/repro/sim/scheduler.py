@@ -1,0 +1,30 @@
+"""Wavefront residency: how many wavefronts share a SIMD engine.
+
+The paper's §II-B arithmetic: the RV770's 16k x 128-bit register file per
+SIMD, divided by 64 threads, gives 256 GPRs per thread; a kernel using G
+registers admits 256/G simultaneous wavefronts, clamped by the hardware
+ceiling and by how many wavefronts the launch supplies to the SIMD at all.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import GPUSpec
+from repro.isa.program import ISAProgram
+from repro.sim.config import SimConfig
+
+
+def resident_wavefronts(
+    program: ISAProgram,
+    gpu: GPUSpec,
+    wavefronts_on_simd: int,
+    sim: SimConfig | None = None,
+) -> int:
+    """Simultaneous wavefronts on one SIMD engine for this kernel."""
+    sim = sim or SimConfig()
+    if wavefronts_on_simd < 1:
+        raise ValueError("a SIMD with no wavefronts has no residency")
+    if sim.gpr_limited_residency:
+        fit = gpu.max_wavefronts_for_gprs(program.gpr_count)
+    else:
+        fit = gpu.max_wavefronts_per_simd
+    return max(1, min(fit, wavefronts_on_simd))

@@ -1,0 +1,55 @@
+"""Texture-fetch unit cost: issue rate vs. miss-traffic bandwidth.
+
+Each SIMD engine owns four texture units, each able to fetch up to 128
+bits per cycle (§II-A), so a 64-thread wavefront needs 16 cycles just to
+*issue* one fetch instruction.  Whether issue or data movement dominates
+depends on the data type and the cache behaviour — exactly the dynamic
+effect the paper's ALU:Fetch micro-benchmark exposes (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+from repro.il.types import DataType
+from repro.sim.cache import FetchCostModel, texture_fetch_cost
+from repro.sim.config import SimConfig
+from repro.sim.memory import MemoryPaths, concurrency_utilization
+from repro.sim.rasterizer import AccessPattern
+
+
+@dataclass(frozen=True)
+class TextureFetchCost:
+    """Cost of one texture-fetch instruction for one wavefront."""
+
+    occupancy_cycles: float  #: time the fetch quartet is held
+    latency_cycles: float  #: additional wait before dependent ALU work
+    model: FetchCostModel  #: underlying cache-model evaluation
+
+
+def texture_cost(
+    gpu: GPUSpec,
+    dtype: DataType,
+    pattern: AccessPattern,
+    num_inputs: int,
+    resident_wavefronts: int,
+    paths: MemoryPaths,
+    sim: SimConfig,
+) -> TextureFetchCost:
+    """Cost of one texture fetch (64 texels) through the L1."""
+    model = texture_fetch_cost(
+        gpu, dtype, pattern, num_inputs, resident_wavefronts, sim
+    )
+    issue = float(gpu.cycles_per_fetch_issue)
+    bpc = (
+        paths.texture_fill_bpc
+        * model.bandwidth_efficiency
+        * concurrency_utilization(resident_wavefronts, sim)
+    )
+    data = model.miss_bytes / bpc
+    return TextureFetchCost(
+        occupancy_cycles=max(issue, data),
+        latency_cycles=model.latency_cycles,
+        model=model,
+    )

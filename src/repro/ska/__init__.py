@@ -1,0 +1,14 @@
+"""StreamKernelAnalyzer clone: static kernel analysis.
+
+AMD's StreamKernelAnalyzer (SKA) reported a kernel's ALU:Fetch ratio in a
+normalized convention — 1.0 means four ALU operations per fetch, because a
+fetch takes four cycles to issue against an ALU op's one (§III-A).  The
+paper both adopts and critiques that convention: a static ratio cannot see
+memory behaviour.  This clone reports the same static quantities so suite
+results can be compared against the static prediction.
+"""
+
+from repro.ska.analyzer import SKAReport, analyze
+from repro.ska.report import format_report
+
+__all__ = ["SKAReport", "analyze", "format_report"]

@@ -1,0 +1,50 @@
+"""The micro-benchmark suite — the paper's primary contribution.
+
+Five micro-benchmarks, each sweeping one kernel parameter while pinning
+the others (§III):
+
+* :class:`~repro.suite.alu_fetch.ALUFetchBenchmark` — ALU:Fetch ratio
+  sweep (Figures 7-10),
+* :class:`~repro.suite.read_latency.ReadLatencyBenchmark` — texture-fetch
+  and global-read latency (Figures 11-12),
+* :class:`~repro.suite.write_latency.WriteLatencyBenchmark` — streaming
+  store and global-write latency (Figures 13-14),
+* :class:`~repro.suite.domain_size.DomainSizeBenchmark` — domain sweep of
+  an ALU-bound kernel (Figure 15),
+* :class:`~repro.suite.register_usage.RegisterUsageBenchmark` — GPR
+  pressure vs. wavefront residency (Figures 16-17 and the Figure 5
+  clause-usage control).
+
+:func:`~repro.suite.runner.run_suite` executes any subset across the three
+GPU generations and returns :class:`~repro.suite.results.ResultSet`
+objects that serialize to JSON/CSV and render as text tables.
+"""
+
+from repro.suite.base import MicroBenchmark, SeriesSpec
+from repro.suite.results import ResultSet, Series, SeriesPoint
+from repro.suite.alu_fetch import ALUFetchBenchmark
+from repro.suite.read_latency import ReadLatencyBenchmark
+from repro.suite.write_latency import WriteLatencyBenchmark
+from repro.suite.domain_size import DomainSizeBenchmark
+from repro.suite.register_usage import RegisterUsageBenchmark
+from repro.suite.runner import BENCHMARKS, run_benchmark, run_suite
+from repro.suite.grid import GridResult, alu_fetch_grid, knees_by_input
+
+__all__ = [
+    "ALUFetchBenchmark",
+    "BENCHMARKS",
+    "DomainSizeBenchmark",
+    "GridResult",
+    "MicroBenchmark",
+    "ReadLatencyBenchmark",
+    "RegisterUsageBenchmark",
+    "ResultSet",
+    "Series",
+    "SeriesPoint",
+    "SeriesSpec",
+    "WriteLatencyBenchmark",
+    "alu_fetch_grid",
+    "knees_by_input",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,143 @@
+"""Micro-benchmark machinery shared by all five benchmarks.
+
+Each benchmark produces, for every (GPU, shader mode, data type) series,
+one kernel per sweep value; the harness compiles it, allocates its
+streams, runs it the paper's 5000 iterations on the simulated chip, and
+records the seconds.  RV670 series in compute mode are skipped (the chip
+predates compute shader support — §IV), matching the figures' legends.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.arch.registry import all_gpus
+from repro.arch.specs import GPUSpec
+from repro.cal.device import Device
+from repro.cal.timing import time_kernel
+from repro.il.module import ILKernel
+from repro.il.types import DataType, ShaderMode
+from repro.sim.config import NAIVE_BLOCK, PAPER_ITERATIONS, SimConfig
+from repro.suite.results import ResultSet, Series, SeriesPoint
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One curve: a GPU in a mode with a data type (and block shape)."""
+
+    gpu: GPUSpec
+    mode: ShaderMode
+    dtype: DataType
+    block: tuple[int, int] = NAIVE_BLOCK
+
+    @property
+    def label(self) -> str:
+        """The paper's legend convention, e.g. ``"4870 Compute Float4"``."""
+        mode = self.mode.value.capitalize()
+        dtype = self.dtype.value.capitalize()
+        return f"{self.gpu.short_card} {mode} {dtype}"
+
+
+def standard_series(
+    gpus: tuple[GPUSpec, ...],
+    modes: tuple[ShaderMode, ...] = (ShaderMode.PIXEL, ShaderMode.COMPUTE),
+    dtypes: tuple[DataType, ...] = (DataType.FLOAT, DataType.FLOAT4),
+    block: tuple[int, int] = NAIVE_BLOCK,
+) -> list[SeriesSpec]:
+    """The paper's standard series grid, minus unsupported combinations."""
+    specs: list[SeriesSpec] = []
+    for gpu in gpus:
+        for mode in modes:
+            if mode is ShaderMode.COMPUTE and not gpu.supports_compute_shader:
+                continue
+            for dtype in dtypes:
+                specs.append(SeriesSpec(gpu, mode, dtype, block))
+    return specs
+
+
+class MicroBenchmark(abc.ABC):
+    """Base class: subclasses define the sweep and the kernel factory."""
+
+    #: experiment id, e.g. ``"fig7"`` (see DESIGN.md §5).
+    name: str = ""
+    title: str = ""
+    x_label: str = ""
+
+    def __init__(
+        self,
+        domain: tuple[int, int] = (1024, 1024),
+        iterations: int = PAPER_ITERATIONS,
+        sim: SimConfig | None = None,
+    ) -> None:
+        self.domain = domain
+        self.iterations = iterations
+        self.sim = sim or SimConfig()
+
+    # ---- subclass interface ------------------------------------------------
+    @abc.abstractmethod
+    def sweep_values(self, fast: bool = False) -> list[float]:
+        """The x-axis values (fast mode may subsample for tests)."""
+
+    @abc.abstractmethod
+    def build_kernel(self, value: float, spec: SeriesSpec) -> ILKernel:
+        """The kernel measured at one sweep point of one series."""
+
+    def series_specs(self, gpus: tuple[GPUSpec, ...]) -> list[SeriesSpec]:
+        """Which series to measure (overridable per benchmark/figure)."""
+        return standard_series(gpus)
+
+    def domain_for(self, value: float, spec: SeriesSpec) -> tuple[int, int]:
+        """Launch domain at one sweep point (the domain benchmark varies it)."""
+        return self.domain
+
+    def x_of(self, value: float, kernel: ILKernel, gprs: int) -> float:
+        """Map the sweep value to the plotted x (register benchmark plots
+        the *measured* GPR count, not the step)."""
+        return value
+
+    # ---- harness -------------------------------------------------------------
+    def run(
+        self,
+        gpus: tuple[GPUSpec, ...] | None = None,
+        fast: bool = False,
+    ) -> ResultSet:
+        """Measure every series over the sweep; returns the figure's data."""
+        gpus = gpus if gpus is not None else all_gpus()
+        result = ResultSet(
+            name=self.name,
+            title=self.title,
+            x_label=self.x_label,
+            metadata={
+                "domain": list(self.domain),
+                "iterations": self.iterations,
+                "fast": fast,
+            },
+        )
+        for spec in self.series_specs(gpus):
+            series = Series(label=spec.label)
+            device = Device(spec.gpu)
+            for value in self.sweep_values(fast):
+                kernel = self.build_kernel(value, spec)
+                event = time_kernel(
+                    device,
+                    kernel,
+                    domain=self.domain_for(value, spec),
+                    block=spec.block,
+                    iterations=self.iterations,
+                    sim=self.sim,
+                )
+                program = event.result.program
+                series.add(
+                    SeriesPoint(
+                        x=self.x_of(value, kernel, program.gpr_count),
+                        seconds=event.seconds,
+                        gprs=program.gpr_count,
+                        resident_wavefronts=(
+                            event.counters.resident_wavefronts
+                        ),
+                        bound=event.bottleneck.value,
+                    )
+                )
+            result.add_series(series)
+        return result

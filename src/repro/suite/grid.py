@@ -1,0 +1,101 @@
+"""Multi-parameter grid sweeps.
+
+§IV: "results for the ALU:Fetch ratio micro-benchmark were obtained for a
+wide range of input sizes and domain sizes ... the execution times
+differed but the behavior of the micro-benchmark (the ALU:Fetch ratio at
+which the bottleneck went from being the texture fetch to the ALU
+operations) remained the same."
+
+:func:`alu_fetch_grid` reproduces exactly that experiment — a (inputs x
+ratio) grid on one chip — and :func:`knees_by_input` verifies the paper's
+invariance claim by extracting the knee at every input size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.knees import find_knee
+from repro.arch.specs import GPUSpec
+from repro.cal.device import Device
+from repro.cal.timing import time_kernel
+from repro.il.types import DataType, ShaderMode
+from repro.kernels import KernelParams, generate_generic
+from repro.sim.config import NAIVE_BLOCK, PAPER_ITERATIONS, SimConfig
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """An (inputs x ratio) timing grid on one chip/mode/dtype."""
+
+    gpu: str
+    dtype: DataType
+    mode: ShaderMode
+    inputs: tuple[int, ...]
+    ratios: tuple[float, ...]
+    #: seconds[inputs_index][ratio_index]
+    seconds: tuple[tuple[float, ...], ...]
+
+    def row(self, inputs: int) -> tuple[float, ...]:
+        return self.seconds[self.inputs.index(inputs)]
+
+    def to_csv(self) -> str:
+        header = "inputs," + ",".join(f"{r:g}" for r in self.ratios)
+        lines = [header]
+        for n, row in zip(self.inputs, self.seconds):
+            lines.append(f"{n}," + ",".join(f"{s:.6f}" for s in row))
+        return "\n".join(lines) + "\n"
+
+
+def alu_fetch_grid(
+    gpu: GPUSpec,
+    inputs: tuple[int, ...] = (4, 8, 16, 32),
+    ratios: tuple[float, ...] = tuple(0.25 * k for k in range(1, 33)),
+    dtype: DataType = DataType.FLOAT,
+    mode: ShaderMode = ShaderMode.PIXEL,
+    block: tuple[int, int] = NAIVE_BLOCK,
+    domain: tuple[int, int] = (1024, 1024),
+    iterations: int = PAPER_ITERATIONS,
+    sim: SimConfig | None = None,
+) -> GridResult:
+    """Run the ALU:Fetch sweep at several input sizes."""
+    device = Device(gpu)
+    rows: list[tuple[float, ...]] = []
+    for n in inputs:
+        row = []
+        for ratio in ratios:
+            kernel = generate_generic(
+                KernelParams(
+                    inputs=n, alu_fetch_ratio=ratio, dtype=dtype, mode=mode
+                )
+            )
+            event = time_kernel(
+                device,
+                kernel,
+                domain=domain,
+                block=block,
+                iterations=iterations,
+                sim=sim,
+            )
+            row.append(event.seconds)
+        rows.append(tuple(row))
+    return GridResult(
+        gpu=gpu.chip,
+        dtype=dtype,
+        mode=mode,
+        inputs=tuple(inputs),
+        ratios=tuple(ratios),
+        seconds=tuple(rows),
+    )
+
+
+def knees_by_input(grid: GridResult, tolerance: float = 0.05) -> dict[int, float | None]:
+    """The bottleneck-transition ratio at each input size.
+
+    The paper's invariance claim is that these coincide: the knee is a
+    property of (chip, mode, dtype), not of the input count.
+    """
+    return {
+        n: find_knee(list(grid.ratios), list(row), tolerance=tolerance).knee_x
+        for n, row in zip(grid.inputs, grid.seconds)
+    }

@@ -1,0 +1,71 @@
+"""Run the whole suite (or any subset) across the three GPU generations."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from pathlib import Path
+
+from repro.arch.registry import all_gpus
+from repro.arch.specs import GPUSpec
+from repro.sim.config import SimConfig
+from repro.suite.alu_fetch import ALUFetchBenchmark
+from repro.suite.base import MicroBenchmark
+from repro.suite.domain_size import DomainSizeBenchmark
+from repro.suite.read_latency import ReadLatencyBenchmark
+from repro.suite.register_usage import RegisterUsageBenchmark
+from repro.suite.results import ResultSet
+from repro.suite.write_latency import WriteLatencyBenchmark
+
+#: experiment id -> benchmark factory, one per paper figure (DESIGN.md §5).
+BENCHMARKS: dict[str, Callable[..., MicroBenchmark]] = {
+    "fig7": ALUFetchBenchmark.figure7,
+    "fig8": ALUFetchBenchmark.figure8,
+    "fig9": ALUFetchBenchmark.figure9,
+    "fig10": ALUFetchBenchmark.figure10,
+    "fig11": ReadLatencyBenchmark.figure11,
+    "fig12": ReadLatencyBenchmark.figure12,
+    "fig13": WriteLatencyBenchmark.figure13,
+    "fig14": WriteLatencyBenchmark.figure14,
+    "fig15a": DomainSizeBenchmark.figure15a,
+    "fig15b": DomainSizeBenchmark.figure15b,
+    "fig16": RegisterUsageBenchmark.figure16,
+    "fig17": RegisterUsageBenchmark.figure17,
+    "fig5ctl": RegisterUsageBenchmark.clause_control,
+}
+
+
+def run_benchmark(
+    figure: str,
+    gpus: tuple[GPUSpec, ...] | None = None,
+    fast: bool = False,
+    sim: SimConfig | None = None,
+    **kwargs,
+) -> ResultSet:
+    """Run one figure's benchmark and return its data."""
+    try:
+        factory = BENCHMARKS[figure]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+    benchmark = factory(sim=sim, **kwargs) if sim else factory(**kwargs)
+    return benchmark.run(gpus=gpus, fast=fast)
+
+
+def run_suite(
+    figures: Iterable[str] | None = None,
+    gpus: tuple[GPUSpec, ...] | None = None,
+    fast: bool = False,
+    out_dir: str | Path | None = None,
+) -> dict[str, ResultSet]:
+    """Run several figures; optionally persist each as JSON in ``out_dir``."""
+    names = list(figures) if figures is not None else sorted(BENCHMARKS)
+    gpus = gpus if gpus is not None else all_gpus()
+    results: dict[str, ResultSet] = {}
+    for name in names:
+        results[name] = run_benchmark(name, gpus=gpus, fast=fast)
+        if out_dir is not None:
+            directory = Path(out_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            results[name].save(directory / f"{name}.json")
+    return results

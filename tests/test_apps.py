@@ -1,0 +1,188 @@
+"""Tests for the StreamSDK-sample stand-ins and the optimization advisor."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    advise,
+    analyze_binomial,
+    analyze_matmul,
+    analyze_montecarlo,
+    binomial_kernel,
+    binomial_price_reference,
+    matmul_pass_kernel,
+    montecarlo_kernel,
+    montecarlo_pi_reference,
+    simulated_matmul,
+)
+from repro.arch import RV770
+from repro.cal import time_kernel
+from repro.compiler import compile_kernel
+from repro.kernels import KernelParams, generate_generic
+from repro.sim.counters import Bound
+
+
+class TestMatmul:
+    def test_kernel_is_fetch_bound_on_rv770(self):
+        # "The matrix multiplication samples in the StreamSDK are fetch
+        # bound" (§IV-B)
+        analysis = analyze_matmul(RV770)
+        assert analysis.bound is Bound.FETCH
+        assert analysis.ska.alu_fetch_ratio < 0.98
+
+    def test_pass_kernel_counts(self):
+        kernel = matmul_pass_kernel(unroll=8)
+        assert kernel.fetch_instruction_count() == 17  # c_in + 8 a + 8 b
+        assert kernel.alu_instruction_count() == 8  # 8 MADs
+
+    def test_simulated_matmul_matches_numpy(self):
+        rng = np.random.default_rng(42)
+        n = 16
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        c, seconds = simulated_matmul(a, b, RV770, unroll=8)
+        assert seconds > 0
+        assert np.allclose(c, a @ b, rtol=1e-3, atol=1e-4)
+
+    def test_simulated_matmul_identity(self):
+        n = 8
+        eye = np.eye(n, dtype=np.float32)
+        m = np.arange(n * n, dtype=np.float32).reshape(n, n)
+        c, _ = simulated_matmul(eye, m, RV770, unroll=8)
+        assert np.allclose(c, m, atol=1e-4)
+
+    def test_size_must_divide_unroll(self):
+        a = np.zeros((10, 10), dtype=np.float32)
+        with pytest.raises(ValueError, match="divisible"):
+            simulated_matmul(a, a, RV770, unroll=8)
+
+    def test_rectangular_rejected(self):
+        a = np.zeros((8, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="square"):
+            simulated_matmul(a, a, RV770)
+
+
+class TestBinomial:
+    def test_kernel_is_alu_bound_on_rv770(self):
+        # "the Binomial Option Pricing sample has several kernels that are
+        # ALU bound" (§IV-A)
+        analysis = analyze_binomial(RV770)
+        assert analysis.bound is Bound.ALU
+        assert analysis.ska.alu_fetch_ratio > 1.09
+
+    def test_kernel_counts_scale_with_steps(self):
+        short = binomial_kernel(steps=4)
+        long = binomial_kernel(steps=16)
+        assert long.alu_instruction_count() > short.alu_instruction_count()
+        assert long.fetch_instruction_count() == 4
+
+    def test_european_call_converges_to_known_value(self):
+        # Standard test case: S=100, K=100, r=5%, sigma=20%, T=1y.
+        # Black-Scholes European call ~= 10.45; the American call on a
+        # non-dividend stock equals the European.
+        price = binomial_price_reference(100, 100, 0.05, 0.2, 1.0, steps=512)
+        assert price == pytest.approx(10.45, abs=0.05)
+
+    def test_american_put_carries_early_exercise_premium(self):
+        put = binomial_price_reference(
+            100, 110, 0.05, 0.2, 1.0, steps=512, call=False
+        )
+        # European put via parity: C - S + K e^{-rT} ~= 10.04
+        european = 10.04
+        assert put > european
+
+    def test_deep_itm_put_worth_at_least_intrinsic(self):
+        put = binomial_price_reference(
+            50, 100, 0.05, 0.2, 1.0, steps=256, call=False
+        )
+        assert put >= 50.0 - 1e-9
+
+    def test_more_steps_converge(self):
+        coarse = binomial_price_reference(100, 100, 0.05, 0.2, 1.0, steps=64)
+        fine = binomial_price_reference(100, 100, 0.05, 0.2, 1.0, steps=1024)
+        assert abs(fine - coarse) < 0.1
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            binomial_price_reference(100, 100, 0.05, 0.2, 1.0, steps=0)
+
+
+class TestMonteCarlo:
+    def test_kernel_is_write_bound_on_rv770(self):
+        # "The StreamSDK Monte Carlo sample includes several kernels which
+        # are global write bound" (§IV-C)
+        analysis = analyze_montecarlo(RV770)
+        assert analysis.bound is Bound.WRITE
+
+    def test_outputs_all_written(self):
+        kernel = montecarlo_kernel(outputs=4)
+        assert kernel.store_instruction_count() == 4
+
+    def test_transcendentals_present(self):
+        kernel = montecarlo_kernel(batches=3)
+        program = compile_kernel(kernel)
+        from repro.isa import collect_stats
+
+        assert collect_stats(program).transcendental_op_count > 0
+
+    def test_pi_reference_converges(self):
+        assert montecarlo_pi_reference(200_000) == pytest.approx(
+            np.pi, abs=0.02
+        )
+
+    def test_pi_reference_deterministic(self):
+        assert montecarlo_pi_reference(1000, seed=1) == (
+            montecarlo_pi_reference(1000, seed=1)
+        )
+
+
+class TestAdvisor:
+    def run_kernel(self, params):
+        kernel = generate_generic(params)
+        return time_kernel(RV770, kernel).result
+
+    def test_fetch_bound_advice(self):
+        result = self.run_kernel(KernelParams(inputs=16, alu_fetch_ratio=0.25))
+        assert result.bottleneck is Bound.FETCH
+        actions = [s.action for s in advise(result)]
+        assert any("ALU operations per fetch" in a for a in actions)
+        assert any("GPR" in a for a in actions)
+
+    def test_alu_bound_advice_mentions_merging(self):
+        result = self.run_kernel(KernelParams(inputs=8, alu_fetch_ratio=10.0))
+        assert result.bottleneck is Bound.ALU
+        actions = " ".join(s.action for s in advise(result))
+        assert "merge" in actions
+
+    def test_write_bound_advice(self):
+        from repro.apps import montecarlo_kernel
+
+        event = time_kernel(RV770, montecarlo_kernel(outputs=8, batches=1))
+        assert event.bottleneck is Bound.WRITE
+        rationale = " ".join(s.rationale for s in advise(event.result))
+        assert "no performance decrease" in rationale
+
+    def test_latency_bound_advice(self):
+        result = self.run_kernel(
+            KernelParams(inputs=120, alu_fetch_ratio=0.25)
+        )
+        assert result.bottleneck is Bound.LATENCY
+        actions = " ".join(s.action for s in advise(result))
+        assert "residency" in actions or "GPR" in actions
+
+    def test_compute_64x1_gets_block_advice(self):
+        from repro.il.types import ShaderMode
+
+        kernel = generate_generic(
+            KernelParams(
+                inputs=16, alu_fetch_ratio=0.25, mode=ShaderMode.COMPUTE
+            )
+        )
+        event = time_kernel(RV770, kernel, block=(64, 1))
+        actions = " ".join(s.action for s in advise(event.result))
+        assert "4x16" in actions
+
+    def test_suggestions_render(self):
+        result = self.run_kernel(KernelParams(inputs=16, alu_fetch_ratio=0.25))
+        for suggestion in advise(result):
+            assert "—" in str(suggestion)

@@ -1,0 +1,101 @@
+"""Registry and Table I tests — the paper's hardware facts, verbatim."""
+
+import pytest
+
+from repro.arch import (
+    RV670,
+    RV770,
+    RV870,
+    all_gpus,
+    gpu_by_name,
+    hardware_feature_table,
+)
+
+
+class TestTableIValues:
+    """Table I of the paper, row by row."""
+
+    @pytest.mark.parametrize(
+        "gpu, alus, tex, simds",
+        [(RV670, 320, 16, 4), (RV770, 800, 40, 10), (RV870, 1600, 80, 20)],
+    )
+    def test_unit_counts(self, gpu, alus, tex, simds):
+        assert gpu.num_alus == alus
+        assert gpu.num_texture_units == tex
+        assert gpu.num_simds == simds
+
+    @pytest.mark.parametrize(
+        "gpu, core, mem, tech",
+        [
+            (RV670, 750, 1000, "DDR4"),
+            (RV770, 750, 900, "DDR5"),
+            (RV870, 850, 1200, "DDR5"),
+        ],
+    )
+    def test_clocks_and_memory(self, gpu, core, mem, tech):
+        assert gpu.core_clock_mhz == core
+        assert gpu.memory.clock_mhz == mem
+        assert gpu.memory.technology.value == tech
+
+    def test_all_chips_use_16_wide_simds_with_5_wide_vliw(self):
+        # "16 * 5-wide VLIW ... stream processors and 4 texture fetch units
+        # (this is true for all of the current AMD GPU generations)" (§II-A)
+        for gpu in all_gpus():
+            assert gpu.thread_processors_per_simd == 16
+            assert gpu.vliw_width == 5
+            assert gpu.texture_units_per_simd == 4
+            assert gpu.wavefront_size == 64
+
+
+class TestGenerationDifferences:
+    def test_rv670_has_no_compute_shader(self):
+        assert not RV670.supports_compute_shader
+        assert RV770.supports_compute_shader
+        assert RV870.supports_compute_shader
+
+    def test_rv870_cache_halved_line_doubled(self):
+        # §IV-A: cache halved, line doubled, from RV770 to RV870.
+        assert RV870.texture_l1.size_bytes * 2 == RV770.texture_l1.size_bytes
+        assert RV870.texture_l1.line_bytes == RV770.texture_l1.line_bytes * 2
+
+    def test_rv670_uncached_path_is_weak(self):
+        assert (
+            RV670.memory.global_read_efficiency
+            < RV770.memory.global_read_efficiency / 2
+        )
+
+    def test_cards_match_paper(self):
+        assert RV670.card == "Radeon HD 3870"
+        assert RV770.card == "Radeon HD 4870"
+        assert RV870.card == "Radeon HD 5870"
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name", ["RV770", "rv770", "4870", "Radeon HD 4870", "HD4870", "hd 4870"]
+    )
+    def test_rv770_aliases(self, name):
+        assert gpu_by_name(name) is RV770
+
+    def test_unknown_name_lists_chips(self):
+        with pytest.raises(KeyError, match="RV670"):
+            gpu_by_name("GTX280")
+
+    def test_all_gpus_ordered_oldest_first(self):
+        assert [g.chip for g in all_gpus()] == ["RV670", "RV770", "RV870"]
+
+
+class TestTableRendering:
+    def test_table_contains_every_row_value(self):
+        text = hardware_feature_table()
+        for token in ("RV670", "RV770", "RV870", "320", "800", "1600",
+                      "750Mhz", "850Mhz", "1200Mhz", "DDR4", "DDR5"):
+            assert token in text
+
+    def test_table_caption(self):
+        assert "TABLE I: GPU Hardware Features" in hardware_feature_table()
+
+    def test_subset_rendering(self):
+        text = hardware_feature_table([RV770])
+        assert "RV770" in text
+        assert "RV670" not in text

@@ -1,0 +1,155 @@
+"""Unit tests for repro.arch.specs."""
+
+import math
+
+import pytest
+
+from repro.arch.specs import CacheSpec, GPUSpec, MemorySpec, MemoryTechnology
+
+
+def make_memory(**overrides) -> MemorySpec:
+    base = dict(
+        clock_mhz=900.0,
+        technology=MemoryTechnology.GDDR5,
+        bus_width_bits=256,
+    )
+    base.update(overrides)
+    return MemorySpec(**base)
+
+
+def make_gpu(**overrides) -> GPUSpec:
+    base = dict(
+        chip="TEST",
+        card="Test Card",
+        short_card="t1",
+        num_alus=800,
+        num_texture_units=40,
+        num_simds=10,
+        core_clock_mhz=750.0,
+        memory=make_memory(),
+    )
+    base.update(overrides)
+    return GPUSpec(**base)
+
+
+class TestMemoryTechnology:
+    def test_gddr5_quad_pumps(self):
+        assert MemoryTechnology.GDDR5.transfers_per_clock == 4
+
+    def test_gddr3_and_gddr4_double_pump(self):
+        assert MemoryTechnology.GDDR3.transfers_per_clock == 2
+        assert MemoryTechnology.GDDR4.transfers_per_clock == 2
+
+    def test_table_labels_match_paper(self):
+        assert MemoryTechnology.GDDR4.value == "DDR4"
+        assert MemoryTechnology.GDDR5.value == "DDR5"
+
+
+class TestMemorySpec:
+    def test_peak_bandwidth_hd4870(self):
+        # 900 MHz x 4 transfers x 256 bits = 115.2 GB/s
+        mem = make_memory()
+        assert mem.peak_bandwidth_bytes_per_s == pytest.approx(115.2e9)
+
+    def test_path_bandwidth_scales_by_efficiency(self):
+        mem = make_memory()
+        assert mem.path_bandwidth(0.5) == pytest.approx(
+            mem.peak_bandwidth_bytes_per_s / 2
+        )
+
+
+class TestCacheSpec:
+    def test_line_count(self):
+        assert CacheSpec(16384, 64).lines() == 256
+
+    def test_tile_shape_float_64b_line(self):
+        # 16 four-byte texels per line -> 4x4 tile
+        assert CacheSpec(16384, 64).tile_shape(4) == (4, 4)
+
+    def test_tile_shape_float4_64b_line(self):
+        # 4 sixteen-byte texels per line -> 2x2 tile
+        assert CacheSpec(16384, 64).tile_shape(16) == (2, 2)
+
+    def test_tile_shape_float_128b_line(self):
+        # 32 texels -> 8 wide x 4 tall
+        assert CacheSpec(8192, 128).tile_shape(4) == (8, 4)
+
+    def test_tile_shape_texel_as_large_as_line(self):
+        assert CacheSpec(8192, 64).tile_shape(64) == (1, 1)
+
+    def test_tile_area_preserved(self):
+        for line in (32, 64, 128, 256):
+            for texel in (4, 8, 16):
+                w, h = CacheSpec(8192, line).tile_shape(texel)
+                assert w * h == max(1, line // texel)
+
+
+class TestGPUSpecValidation:
+    def test_alu_count_must_match_structure(self):
+        with pytest.raises(ValueError, match="ALU count"):
+            make_gpu(num_alus=801)
+
+    def test_texture_units_must_match_structure(self):
+        with pytest.raises(ValueError, match="texture unit count"):
+            make_gpu(num_texture_units=39)
+
+    def test_wavefront_size_must_tile_quads(self):
+        with pytest.raises(ValueError, match="wavefront size"):
+            make_gpu(wavefront_size=60)
+
+
+class TestGPUSpecDerived:
+    def test_cycles_per_alu_instruction_is_four(self):
+        # 64 threads over 16 thread processors
+        assert make_gpu().cycles_per_alu_instruction == 4
+
+    def test_cycles_per_fetch_issue_is_sixteen(self):
+        # 64 threads over 4 texture units
+        assert make_gpu().cycles_per_fetch_issue == 16
+
+    def test_hardware_alu_tex_ratio_is_four(self):
+        assert make_gpu().alu_tex_issue_ratio == pytest.approx(4.0)
+
+    def test_register_file_entries_rv770_arithmetic(self):
+        # "16k * 128-bit wide registers/SIMD engine" (paper §II-B)
+        assert make_gpu().register_file_entries_per_simd == 16384
+
+    def test_quads_per_wavefront(self):
+        assert make_gpu().quads_per_wavefront == 16
+
+
+class TestWavefrontResidency:
+    def test_paper_example_5_registers(self):
+        # "if the kernel uses 5 registers then it is possible to have
+        # 256/5 = 51 wavefronts scheduled" — clamped by the hw ceiling.
+        gpu = make_gpu(max_wavefronts_per_simd=64)
+        assert gpu.max_wavefronts_for_gprs(5) == 51
+
+    def test_hardware_ceiling_clamps(self):
+        gpu = make_gpu(max_wavefronts_per_simd=32)
+        assert gpu.max_wavefronts_for_gprs(5) == 32
+
+    def test_huge_gpr_count_still_runs_one(self):
+        assert make_gpu().max_wavefronts_for_gprs(500) == 1
+
+    def test_zero_gprs_means_unlimited(self):
+        gpu = make_gpu(max_wavefronts_per_simd=32)
+        assert gpu.max_wavefronts_for_gprs(0) == 32
+
+    def test_monotone_in_gprs(self):
+        gpu = make_gpu()
+        previous = gpu.max_wavefronts_for_gprs(1)
+        for gprs in range(2, 257):
+            current = gpu.max_wavefronts_for_gprs(gprs)
+            assert current <= previous
+            previous = current
+
+
+class TestBandwidthConversion:
+    def test_bytes_per_core_cycle(self):
+        gpu = make_gpu()
+        assert gpu.bytes_per_core_cycle(750e6) == pytest.approx(1.0)
+
+    def test_per_simd_share(self):
+        gpu = make_gpu()
+        assert gpu.per_simd_bytes_per_cycle(750e6 * 10) == pytest.approx(1.0)

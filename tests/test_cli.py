@@ -1,0 +1,165 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInformational:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Radeon HD 4870" in out
+        assert "800 ALUs" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+
+class TestKernelCommands:
+    def test_generate_emits_il(self, capsys):
+        assert main(["generate", "--inputs", "3", "--alu-ops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("il_ps_2_0")
+        assert "sample_resource(0)" in out
+        assert out.rstrip().endswith("end")
+
+    def test_generate_register_usage(self, capsys):
+        assert (
+            main(
+                [
+                    "generate",
+                    "--generator",
+                    "register",
+                    "--inputs",
+                    "64",
+                    "--space",
+                    "8",
+                    "--step",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "sample_resource(63)" in capsys.readouterr().out
+
+    def test_compile_disassembles(self, capsys):
+        assert main(["compile", "--inputs", "3", "--alu-ops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TEX: ADDR(" in out
+        assert "END_OF_PROGRAM" in out
+
+    def test_compile_from_file(self, tmp_path, capsys):
+        assert main(["generate", "--inputs", "2", "--alu-ops", "2"]) == 0
+        il_text = capsys.readouterr().out
+        path = tmp_path / "kernel.il"
+        path.write_text(il_text)
+        assert main(["compile", "--il", str(path)]) == 0
+        assert "EXP_DONE" in capsys.readouterr().out
+
+    def test_ska_report(self, capsys):
+        assert main(["ska", "--inputs", "16", "--ratio", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "ALU:Fetch ratio:      1.00" in out
+        assert "good band" in out
+
+    def test_time_reports_bound(self, capsys):
+        assert (
+            main(
+                [
+                    "time",
+                    "--inputs",
+                    "8",
+                    "--ratio",
+                    "10",
+                    "--gpu",
+                    "5870",
+                    "--iterations",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bound=alu" in out
+
+    def test_advise_prints_suggestions(self, capsys):
+        assert (
+            main(
+                ["advise", "--inputs", "16", "--ratio", "0.25", "--iterations", "1"]
+            )
+            == 0
+        )
+        assert "increase ALU operations per fetch" in capsys.readouterr().out
+
+    def test_global_spaces_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "--inputs",
+                    "3",
+                    "--alu-ops",
+                    "3",
+                    "--global-inputs",
+                    "--global-outputs",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "VFETCH" in out
+        assert "MEM0" in out
+
+
+class TestFigureCommands:
+    def test_figure_with_save(self, tmp_path, capsys):
+        assert (
+            main(["figure", "fig13", "--save", str(tmp_path), "--chart"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Streaming Store Latency" in out
+        saved = json.loads((tmp_path / "fig13.json").read_text())
+        assert saved["name"] == "fig13"
+        assert (tmp_path / "fig13.csv").exists()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_suite_subset(self, capsys):
+        assert main(["suite", "--figures", "fig13", "fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "expectations hold" in out
+        assert "1/4th" in out  # the fig14 claim was evaluated
+
+
+class TestTraceAndTopology:
+    def test_topology(self, capsys):
+        assert main(["topology", "--gpu", "5870"]) == 0
+        out = capsys.readouterr().out
+        assert "RV870 thread organization" in out
+        assert "1600 stream cores" in out
+
+    def test_trace_gantt(self, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "--inputs",
+                    "8",
+                    "--ratio",
+                    "1.0",
+                    "--wavefronts",
+                    "4",
+                    "--width",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "alu" in out and "tex" in out and "util:" in out

@@ -1,0 +1,72 @@
+"""Tests for run-to-run result comparison."""
+
+import pytest
+
+from repro.arch import RV770
+from repro.reporting import compare_results
+from repro.sim import SimConfig
+from repro.suite import WriteLatencyBenchmark
+from repro.suite.results import ResultSet, Series, SeriesPoint
+
+
+def run_fig13(sim=None):
+    bench = WriteLatencyBenchmark.figure13(
+        domain=(256, 256), iterations=1, sim=sim
+    )
+    return bench.run(gpus=(RV770,), fast=True)
+
+
+class TestCompareResults:
+    def test_identical_runs_are_unchanged(self):
+        a, b = run_fig13(), run_fig13()
+        comparison = compare_results(a, b)
+        assert comparison.max_change == 0.0
+        assert all(d.unchanged for d in comparison.deltas)
+
+    def test_ablation_shows_up_as_change(self):
+        base = run_fig13()
+        ablated = run_fig13(SimConfig(burst_exports=False))
+        comparison = compare_results(base, ablated)
+        assert comparison.max_change > 0.05
+        assert any(not d.unchanged for d in comparison.deltas)
+        # ablating burst exports makes float stores slower
+        float_delta = next(
+            d for d in comparison.deltas if d.label == "4870 Pixel Float"
+        )
+        assert float_delta.mean_ratio > 1.0
+
+    def test_table_rendering(self):
+        comparison = compare_results(run_fig13(), run_fig13())
+        text = comparison.format_table()
+        assert "vs baseline" in text
+        assert "4870 Pixel Float" in text
+
+    def test_disjoint_series_reported(self):
+        a = ResultSet(name="a", title="t", x_label="x")
+        sa = Series(label="shared")
+        sa.add(SeriesPoint(x=1.0, seconds=2.0))
+        extra = Series(label="only_a")
+        extra.add(SeriesPoint(x=1.0, seconds=1.0))
+        a.add_series(sa)
+        a.add_series(extra)
+
+        b = ResultSet(name="b", title="t", x_label="x")
+        sb = Series(label="shared")
+        sb.add(SeriesPoint(x=1.0, seconds=4.0))
+        b.add_series(sb)
+
+        comparison = compare_results(a, b)
+        assert comparison.baseline_only == ("only_a",)
+        assert comparison.deltas[0].mean_ratio == pytest.approx(2.0)
+
+    def test_no_shared_series_rejected(self):
+        a = ResultSet(name="a", title="t", x_label="x")
+        s = Series(label="one")
+        s.add(SeriesPoint(x=1.0, seconds=1.0))
+        a.add_series(s)
+        b = ResultSet(name="b", title="t", x_label="x")
+        s2 = Series(label="two")
+        s2.add(SeriesPoint(x=1.0, seconds=1.0))
+        b.add_series(s2)
+        with pytest.raises(ValueError, match="no shared series"):
+            compare_results(a, b)

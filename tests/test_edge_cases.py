@@ -1,0 +1,259 @@
+"""Edge-case and error-path tests across modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import merge_kernels
+from repro.arch import RV670, RV770, RV870
+from repro.compiler import CompileError, compile_kernel
+from repro.compiler.clauses import chunk, form_segments
+from repro.compiler.errors import ResourceLimitError
+from repro.il import (
+    DataType,
+    ILBuilder,
+    MemorySpace,
+    ShaderMode,
+    emit_il,
+    parse_il,
+)
+from repro.il.instructions import (
+    ALUInstruction,
+    ExportInstruction,
+    SampleInstruction,
+    operand,
+    position,
+    temp,
+)
+from repro.il.module import ILKernel, InputDecl, OutputDecl
+from repro.il.opcodes import ILOp
+from repro.kernels import KernelParams, generate_generic
+from repro.sim.memory import MemoryPaths
+
+
+class TestCompilerErrorPaths:
+    def _raw_kernel(self, body):
+        return ILKernel(
+            name="raw",
+            mode=ShaderMode.PIXEL,
+            dtype=DataType.FLOAT,
+            inputs=(InputDecl(0, MemorySpace.TEXTURE, DataType.FLOAT),),
+            outputs=(OutputDecl(0, MemorySpace.COLOR_BUFFER, DataType.FLOAT),),
+            body=tuple(body),
+        )
+
+    def test_fetch_after_store_rejected(self):
+        body = [
+            SampleInstruction(temp(0), 0, operand(position())),
+            ALUInstruction(ILOp.ADD, temp(1), (operand(temp(0)), operand(temp(0)))),
+            ExportInstruction(0, operand(temp(1))),
+            SampleInstruction(temp(2), 0, operand(position())),
+            ALUInstruction(ILOp.ADD, temp(3), (operand(temp(2)), operand(temp(2)))),
+            ExportInstruction(0, operand(temp(3))),
+        ]
+        with pytest.raises(CompileError, match="fetch after store"):
+            form_segments(self._raw_kernel(body))
+
+    def test_alu_after_store_rejected(self):
+        body = [
+            SampleInstruction(temp(0), 0, operand(position())),
+            ALUInstruction(ILOp.ADD, temp(1), (operand(temp(0)), operand(temp(0)))),
+            ExportInstruction(0, operand(temp(1))),
+            ALUInstruction(ILOp.ADD, temp(2), (operand(temp(1)), operand(temp(1)))),
+        ]
+        with pytest.raises(CompileError, match="ALU instruction after store"):
+            form_segments(self._raw_kernel(body))
+
+    def test_chunk_validates_size(self):
+        with pytest.raises(ValueError):
+            chunk([1, 2, 3], 0)
+
+    def test_register_file_limit_enforced(self):
+        # 300 inputs all live simultaneously cannot fit 256 GPRs
+        with pytest.raises(ResourceLimitError, match="256"):
+            compile_kernel(
+                generate_generic(
+                    KernelParams(inputs=300, alu_fetch_ratio=0.25)
+                )
+            )
+
+    def test_clause_temp_spill_to_gpr(self):
+        # several long-lived intra-clause values overflow the two clause
+        # temporaries and must spill to GPRs
+        builder = ILBuilder("spill", ShaderMode.PIXEL, DataType.FLOAT)
+        a = builder.declare_input()
+        b = builder.declare_input()
+        out = builder.declare_output()
+        va, vb = builder.sample(a), builder.sample(b)
+        held = [builder.add(va, vb) for _ in range(4)]  # 4 parallel values
+        acc = builder.add(held[0], held[1])
+        for _ in range(6):  # keep the held values alive across bundles
+            acc = builder.add(acc, acc)
+        for value in held:
+            acc = builder.add(acc, value)
+        builder.store(out, acc)
+        program = compile_kernel(builder.build())
+        assert program.clause_temp_count <= 2
+        assert program.gpr_count >= 3
+
+
+class TestParserModifiers:
+    def test_negate_round_trip(self):
+        builder = ILBuilder("neg", ShaderMode.PIXEL, DataType.FLOAT)
+        a = builder.declare_input()
+        out = builder.declare_output()
+        va = builder.sample(a)
+        builder.store(out, builder.alu(ILOp.ADD, va, operand(va, negate=True)))
+        text = emit_il(builder.build())
+        assert "-r0" in text
+        assert emit_il(parse_il(text)) == text
+
+    def test_constants_in_alu_round_trip(self):
+        builder = ILBuilder("c", ShaderMode.PIXEL, DataType.FLOAT)
+        a = builder.declare_input()
+        c = builder.declare_constant()
+        out = builder.declare_output()
+        builder.store(out, builder.add(builder.sample(a), c))
+        text = emit_il(builder.build())
+        assert "cb0[0]" in text
+        assert emit_il(parse_il(text)) == text
+
+
+class TestMergingWithConstants:
+    def test_constant_indices_shift(self):
+        def with_const(name):
+            builder = ILBuilder(name, ShaderMode.PIXEL, DataType.FLOAT)
+            a = builder.declare_input()
+            c = builder.declare_constant()
+            out = builder.declare_output()
+            builder.store(out, builder.add(builder.sample(a), c))
+            return builder.build()
+
+        merged = merge_kernels(with_const("a"), with_const("b"))
+        assert len(merged.constants) == 2
+        text = emit_il(merged)
+        assert "cb0[0]" in text and "cb0[1]" in text
+
+    def test_merged_constant_semantics(self):
+        from repro.sim.functional import execute_kernel
+
+        def with_const(name):
+            builder = ILBuilder(name, ShaderMode.PIXEL, DataType.FLOAT)
+            a = builder.declare_input()
+            c = builder.declare_constant()
+            out = builder.declare_output()
+            builder.store(out, builder.add(builder.sample(a), c))
+            return builder.build()
+
+        merged = merge_kernels(with_const("a"), with_const("b"))
+        data = np.full((2, 2), 1.0, np.float32)
+        out = execute_kernel(
+            merged,
+            {0: data, 1: data * 2},
+            (2, 2),
+            constants={0: 10.0, 1: 20.0},
+        )
+        assert np.allclose(out[0], 11.0)
+        assert np.allclose(out[1], 22.0)
+
+
+class TestFloat2:
+    def test_float2_compiles_and_simulates(self):
+        from repro.sim import LaunchConfig, simulate_launch
+
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=8, alu_fetch_ratio=1.0, dtype=DataType.FLOAT2)
+            )
+        )
+        result = simulate_launch(program, RV770, LaunchConfig(iterations=1))
+        assert result.seconds > 0
+
+    def test_float2_cost_between_float_and_float4(self):
+        from repro.sim import LaunchConfig, simulate_launch
+
+        seconds = {}
+        for dtype in DataType:
+            program = compile_kernel(
+                generate_generic(
+                    KernelParams(inputs=16, alu_fetch_ratio=0.25, dtype=dtype)
+                )
+            )
+            seconds[dtype] = simulate_launch(
+                program, RV770, LaunchConfig()
+            ).seconds
+        assert (
+            seconds[DataType.FLOAT]
+            < seconds[DataType.FLOAT2]
+            < seconds[DataType.FLOAT4]
+        )
+
+    def test_float2_tile_shape(self):
+        assert RV770.texture_l1.tile_shape(8) == (4, 2)
+
+
+class TestMemoryPathsPerChip:
+    @pytest.mark.parametrize("gpu", [RV670, RV770, RV870])
+    def test_paths_positive_and_ordered(self, gpu):
+        paths = MemoryPaths.for_gpu(gpu)
+        assert paths.texture_fill_bpc > 0
+        assert paths.global_read_bpc > 0
+        assert paths.global_write_bpc > 0
+        assert paths.global_latency > 0
+
+    def test_rv670_read_path_is_the_outlier(self):
+        old = MemoryPaths.for_gpu(RV670)
+        new = MemoryPaths.for_gpu(RV770)
+        assert old.global_read_bpc < old.texture_fill_bpc
+        assert new.global_read_bpc == pytest.approx(
+            new.texture_fill_bpc, rel=0.25
+        )
+
+
+class TestLaunchResultViews:
+    def test_summary_text(self, rv770, simple_program):
+        from repro.sim import LaunchConfig, simulate_launch
+
+        result = simulate_launch(simple_program, rv770, LaunchConfig())
+        summary = result.summary()
+        assert "RV770" in summary
+        assert "pixel" in summary
+
+    def test_compute_launch_wavefront_count(self, rv770):
+        from repro.sim import LaunchConfig, simulate_launch
+
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=4, alu_ops=4, mode=ShaderMode.COMPUTE)
+            )
+        )
+        launch = LaunchConfig(
+            domain=(100, 100), mode=ShaderMode.COMPUTE, block=(64, 1)
+        )
+        result = simulate_launch(program, rv770, launch)
+        assert result.counters.wavefronts_total == 200  # padded blocks
+
+
+class TestModelSimulatorDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        inputs=st.integers(min_value=2, max_value=32),
+        ratio=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0, 8.0]),
+        dtype=st.sampled_from(list(DataType)),
+        chip=st.sampled_from([RV670, RV770, RV870]),
+    )
+    def test_model_tracks_event_sim(self, inputs, ratio, dtype, chip):
+        """The closed-form model stays within 25% of the event sim for the
+        whole generator family on every chip."""
+        from repro.analysis import predict_launch_seconds
+        from repro.sim import LaunchConfig, simulate_launch
+
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=inputs, alu_fetch_ratio=ratio, dtype=dtype)
+            )
+        )
+        launch = LaunchConfig()
+        simulated = simulate_launch(program, chip, launch).seconds
+        predicted = predict_launch_seconds(program, chip, launch).seconds
+        assert predicted == pytest.approx(simulated, rel=0.25)

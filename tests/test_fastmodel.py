@@ -1,0 +1,151 @@
+"""Tests for the vectorized whole-grid performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import GenericKernelGrid, knee_surface, predict_generic_grid
+from repro.arch import RV670, RV770, RV870
+from repro.compiler import compile_kernel
+from repro.il.types import DataType, ShaderMode
+from repro.kernels import KernelParams, generate_generic
+from repro.sim import LaunchConfig, SimConfig, simulate_launch
+
+
+def single(gpu, inputs, ratio, dtype=DataType.FLOAT, **kwargs):
+    grid = GenericKernelGrid(
+        inputs=np.array([inputs]),
+        ratios=np.array([ratio]),
+        dtype=dtype,
+        **kwargs,
+    )
+    return float(predict_generic_grid(gpu, grid)[0])
+
+
+class TestAgainstEventSimulator:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        inputs=st.integers(min_value=2, max_value=16),
+        ratio=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0, 8.0]),
+        dtype=st.sampled_from(list(DataType)),
+        chip=st.sampled_from([RV670, RV770, RV870]),
+    )
+    def test_fast_model_matches_simulation(self, inputs, ratio, dtype, chip):
+        """Within ~10% across the paper's figure envelope (inputs <= 16)."""
+        fast = single(chip, inputs, ratio, dtype)
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=inputs, alu_fetch_ratio=ratio, dtype=dtype)
+            )
+        )
+        simulated = simulate_launch(program, chip, LaunchConfig()).seconds
+        assert fast == pytest.approx(simulated, rel=0.12)
+
+    def test_convoy_regime_documented_bound(self):
+        """Outside the envelope the fast model may undershoot, but never
+        by more than the documented ~40% (the event-sim convoy effect)."""
+        for inputs in (34, 42, 48):
+            fast = single(RV770, inputs, 1.0)
+            program = compile_kernel(
+                generate_generic(
+                    KernelParams(inputs=inputs, alu_fetch_ratio=1.0)
+                )
+            )
+            simulated = simulate_launch(program, RV770, LaunchConfig()).seconds
+            assert fast == pytest.approx(simulated, rel=0.45)
+            assert fast <= simulated * 1.05  # undershoots, never overshoots
+
+    def test_compute_mode_matches_too(self):
+        for block in ((64, 1), (4, 16)):
+            fast = single(
+                RV770,
+                16,
+                1.0,
+                DataType.FLOAT4,
+                mode=ShaderMode.COMPUTE,
+                block=block,
+            )
+            program = compile_kernel(
+                generate_generic(
+                    KernelParams(
+                        inputs=16,
+                        alu_fetch_ratio=1.0,
+                        dtype=DataType.FLOAT4,
+                        mode=ShaderMode.COMPUTE,
+                    )
+                )
+            )
+            simulated = simulate_launch(
+                program,
+                RV770,
+                LaunchConfig(mode=ShaderMode.COMPUTE, block=block),
+            ).seconds
+            assert fast == pytest.approx(simulated, rel=0.10)
+
+
+class TestBroadcasting:
+    def test_grid_shape(self):
+        grid = GenericKernelGrid(
+            inputs=np.arange(2, 10)[:, np.newaxis],
+            ratios=np.linspace(0.25, 8.0, 12)[np.newaxis, :],
+        )
+        seconds = predict_generic_grid(RV770, grid)
+        assert seconds.shape == (8, 12)
+        assert np.all(seconds > 0)
+
+    def test_monotone_in_ratio_beyond_knee(self):
+        grid = GenericKernelGrid(
+            inputs=np.array(16.0),
+            ratios=np.linspace(4.0, 16.0, 13),
+        )
+        seconds = predict_generic_grid(RV770, grid)
+        assert np.all(np.diff(seconds) >= -1e-9)
+
+    def test_monotone_in_inputs_when_fetch_bound(self):
+        grid = GenericKernelGrid(
+            inputs=np.arange(4, 33, 4, dtype=float),
+            ratios=np.array(0.25),
+        )
+        seconds = predict_generic_grid(RV770, grid)
+        assert np.all(np.diff(seconds) > 0)
+
+
+class TestKneeSurface:
+    def test_knee_invariance_over_inputs(self):
+        knees = knee_surface(
+            RV770, np.array([8, 16, 32]), np.linspace(0.25, 8.0, 32)
+        )
+        assert np.nanmax(knees) - np.nanmin(knees) <= 0.3
+
+    def test_float4_knee_about_4x_float(self):
+        ratios = np.linspace(0.25, 12.0, 48)
+        float_knee = knee_surface(RV770, np.array([16]), ratios)[0]
+        vec_knee = knee_surface(
+            RV770, np.array([16]), ratios, dtype=DataType.FLOAT4
+        )[0]
+        assert 2.5 <= vec_knee / float_knee <= 6.0
+
+    def test_no_knee_is_nan(self):
+        # sweep stops far below the RV870 float4 knee
+        knees = knee_surface(
+            RV870,
+            np.array([16]),
+            np.linspace(0.25, 2.0, 8),
+            dtype=DataType.FLOAT4,
+        )
+        assert np.isnan(knees[0])
+
+
+class TestAblationConsistency:
+    def test_sim_config_flows_through(self):
+        base = single(RV770, 16, 0.25, DataType.FLOAT4, mode=ShaderMode.COMPUTE)
+        grid = GenericKernelGrid(
+            inputs=np.array([16]),
+            ratios=np.array([0.25]),
+            dtype=DataType.FLOAT4,
+            mode=ShaderMode.COMPUTE,
+        )
+        no_cache = float(
+            predict_generic_grid(RV770, grid, SimConfig(cache_model=False))[0]
+        )
+        assert no_cache < base  # overfetch removed

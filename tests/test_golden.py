@@ -1,0 +1,84 @@
+"""Golden regression pins.
+
+These tests pin the exact compiler structure and the calibrated headline
+numbers so that refactoring cannot silently drift the reproduction.  If a
+deliberate model change moves a pinned value, update the pin together
+with EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.arch import RV670, RV770, RV870
+from repro.compiler import compile_kernel
+from repro.il import DataType
+from repro.isa import disassemble
+from repro.kernels import KernelParams, generate_generic, generate_register_usage
+from repro.sim import LaunchConfig, simulate_launch
+
+GOLDEN_FIG2_DISASSEMBLY = """\
+; -------- Disassembly --------------------
+00 TEX: ADDR(32) CNT(3) VALID_PIX
+        0 SAMPLE R1, R0.xyxx, t0, s0  UNNORM(XYZW)
+        1 SAMPLE R2, R0.xyxx, t1, s1  UNNORM(XYZW)
+        2 SAMPLE R3, R0.xyxx, t2, s2  UNNORM(XYZW)
+01 ALU: ADDR(44) CNT(3)
+        3 x: ADD  T0, R1, R2
+        4 x: ADD  ____, PV.x, R3
+        5 x: ADD  R1, PV.x, T0
+02 EXP_DONE: PIX0, R1
+END_OF_PROGRAM
+
+; GPRs used: 4   clause temps: 1   ALU:Fetch (SKA convention): 0.25"""
+
+
+class TestGoldenDisassembly:
+    def test_fig2_kernel_listing_is_stable(self):
+        kernel = generate_generic(
+            KernelParams(inputs=3, outputs=1, alu_ops=3, dtype=DataType.FLOAT4)
+        )
+        assert disassemble(compile_kernel(kernel)) == GOLDEN_FIG2_DISASSEMBLY
+
+
+class TestGoldenGPRLadder:
+    def test_register_usage_ladder(self):
+        gprs = [
+            compile_kernel(
+                generate_register_usage(
+                    KernelParams(
+                        inputs=64, space=8, step=step, alu_fetch_ratio=1.0
+                    )
+                )
+            ).gpr_count
+            for step in range(8)
+        ]
+        assert gprs == [65, 57, 49, 41, 33, 25, 17, 10]
+
+
+class TestGoldenHeadlineSeconds:
+    """The calibrated headline values, pinned to 2%."""
+
+    @pytest.mark.parametrize(
+        "gpu, expected",
+        [(RV670, 34.96), (RV770, 13.99), (RV870, 6.18)],
+        ids=["3870", "4870", "5870"],
+    )
+    def test_domain_1024_alu_bound(self, gpu, expected):
+        program = compile_kernel(
+            generate_generic(KernelParams(inputs=8, alu_fetch_ratio=10.0))
+        )
+        result = simulate_launch(program, gpu, LaunchConfig())
+        assert result.seconds == pytest.approx(expected, rel=0.02)
+
+    def test_rv770_pixel_plateaus(self):
+        seconds = {}
+        for dtype in (DataType.FLOAT, DataType.FLOAT4):
+            program = compile_kernel(
+                generate_generic(
+                    KernelParams(inputs=16, alu_fetch_ratio=0.25, dtype=dtype)
+                )
+            )
+            seconds[dtype] = simulate_launch(
+                program, RV770, LaunchConfig()
+            ).seconds
+        assert seconds[DataType.FLOAT] == pytest.approx(3.66, rel=0.02)
+        assert seconds[DataType.FLOAT4] == pytest.approx(14.63, rel=0.02)

@@ -1,0 +1,185 @@
+"""Tests for IL types, opcodes, instructions and the kernel container."""
+
+import pytest
+
+from repro.il import (
+    ALUInstruction,
+    DataType,
+    ExportInstruction,
+    GlobalLoadInstruction,
+    GlobalStoreInstruction,
+    ILOp,
+    MemorySpace,
+    Operand,
+    Register,
+    RegisterFile,
+    SampleInstruction,
+    ShaderMode,
+)
+from repro.il.instructions import const, operand, position, temp
+from repro.il.module import ConstantDecl, ILKernel, InputDecl, OutputDecl
+
+
+class TestDataType:
+    @pytest.mark.parametrize(
+        "dtype, components, size",
+        [
+            (DataType.FLOAT, 1, 4),
+            (DataType.FLOAT2, 2, 8),
+            (DataType.FLOAT4, 4, 16),
+        ],
+    )
+    def test_component_geometry(self, dtype, components, size):
+        assert dtype.components == components
+        assert dtype.bytes == size
+
+    def test_from_name_roundtrip(self):
+        for dtype in DataType:
+            assert DataType.from_name(dtype.value) is dtype
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            DataType.from_name("double")
+
+
+class TestShaderMode:
+    def test_il_prefixes(self):
+        assert ShaderMode.PIXEL.il_prefix == "il_ps_2_0"
+        assert ShaderMode.COMPUTE.il_prefix == "il_cs_2_0"
+
+    def test_from_name(self):
+        assert ShaderMode.from_name("Pixel") is ShaderMode.PIXEL
+        with pytest.raises(ValueError):
+            ShaderMode.from_name("geometry")
+
+
+class TestMemorySpace:
+    def test_input_output_classification(self):
+        assert MemorySpace.TEXTURE.is_input_space
+        assert MemorySpace.GLOBAL.is_input_space
+        assert MemorySpace.GLOBAL.is_output_space
+        assert MemorySpace.COLOR_BUFFER.is_output_space
+        assert not MemorySpace.COLOR_BUFFER.is_input_space
+        assert not MemorySpace.TEXTURE.is_output_space
+
+
+class TestOpcodes:
+    def test_transcendental_flags(self):
+        assert ILOp.SIN.transcendental
+        assert ILOp.RCP.transcendental
+        assert not ILOp.ADD.transcendental
+        assert not ILOp.MAD.transcendental
+
+    def test_arities(self):
+        assert ILOp.MOV.arity == 1
+        assert ILOp.ADD.arity == 2
+        assert ILOp.MAD.arity == 3
+
+    def test_from_mnemonic(self):
+        assert ILOp.from_mnemonic("ADD") is ILOp.ADD
+        with pytest.raises(ValueError):
+            ILOp.from_mnemonic("xor")
+
+
+class TestRegistersAndOperands:
+    def test_register_rendering(self):
+        assert str(temp(12)) == "r12"
+        assert str(const(3)) == "cb0[3]"
+        assert str(position()) == "v0"
+
+    def test_operand_negation(self):
+        assert str(Operand(temp(1), negate=True)) == "-r1"
+
+    def test_operand_coercion_flips_negate(self):
+        op = operand(temp(2), negate=True)
+        assert op.negate
+        assert not operand(op, negate=True).negate
+
+
+class TestInstructions:
+    def test_alu_arity_enforced(self):
+        with pytest.raises(ValueError, match="expects 2 sources"):
+            ALUInstruction(ILOp.ADD, temp(0), (operand(temp(1)),))
+
+    def test_alu_def_use_sets(self):
+        instr = ALUInstruction(
+            ILOp.ADD, temp(2), (operand(temp(0)), operand(temp(1)))
+        )
+        assert instr.defined_registers() == (temp(2),)
+        assert set(instr.used_registers()) == {temp(0), temp(1)}
+
+    def test_sample_rendering(self):
+        instr = SampleInstruction(temp(1), 0, operand(position()))
+        assert str(instr) == "sample_resource(0)_sampler(0) r1, v0"
+
+    def test_global_load_with_offset(self):
+        instr = GlobalLoadInstruction(temp(1), operand(position()), offset=3)
+        assert str(instr) == "mov r1, g[v0 + 3]"
+
+    def test_global_store_uses(self):
+        instr = GlobalStoreInstruction(operand(position()), operand(temp(5)))
+        assert temp(5) in instr.used_registers()
+        assert instr.defined_registers() == ()
+
+    def test_export_rendering(self):
+        assert str(ExportInstruction(2, operand(temp(9)))) == "mov o2, r9"
+
+
+class TestILKernel:
+    def _kernel(self, **overrides):
+        body = (
+            SampleInstruction(temp(0), 0, operand(position())),
+            SampleInstruction(temp(1), 1, operand(position())),
+            ALUInstruction(ILOp.ADD, temp(2), (operand(temp(0)), operand(temp(1)))),
+            ExportInstruction(0, operand(temp(2))),
+        )
+        fields = dict(
+            name="k",
+            mode=ShaderMode.PIXEL,
+            dtype=DataType.FLOAT,
+            inputs=(
+                InputDecl(0, MemorySpace.TEXTURE, DataType.FLOAT),
+                InputDecl(1, MemorySpace.TEXTURE, DataType.FLOAT),
+            ),
+            outputs=(OutputDecl(0, MemorySpace.COLOR_BUFFER, DataType.FLOAT),),
+            body=body,
+        )
+        fields.update(overrides)
+        return ILKernel(**fields)
+
+    def test_counts(self):
+        kernel = self._kernel()
+        assert kernel.alu_instruction_count() == 1
+        assert kernel.fetch_instruction_count() == 2
+        assert kernel.store_instruction_count() == 1
+
+    def test_input_space_uniform(self):
+        assert self._kernel().input_space() is MemorySpace.TEXTURE
+
+    def test_mixed_input_spaces_rejected(self):
+        kernel = self._kernel(
+            inputs=(
+                InputDecl(0, MemorySpace.TEXTURE, DataType.FLOAT),
+                InputDecl(1, MemorySpace.GLOBAL, DataType.FLOAT),
+            )
+        )
+        with pytest.raises(ValueError, match="mixes input spaces"):
+            kernel.input_space()
+
+    def test_output_space_requires_outputs(self):
+        kernel = self._kernel(outputs=())
+        with pytest.raises(ValueError, match="no outputs"):
+            kernel.output_space()
+
+    def test_invalid_input_decl_space(self):
+        with pytest.raises(ValueError, match="invalid space"):
+            InputDecl(0, MemorySpace.COLOR_BUFFER, DataType.FLOAT)
+
+    def test_invalid_output_decl_space(self):
+        with pytest.raises(ValueError, match="invalid space"):
+            OutputDecl(0, MemorySpace.TEXTURE, DataType.FLOAT)
+
+    def test_summary_mentions_mode_and_counts(self):
+        summary = self._kernel().summary()
+        assert "pixel" in summary
+        assert "in=2" in summary

@@ -1,0 +1,180 @@
+"""Tests for the ISA program model, statistics and disassembler."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.il import DataType, MemorySpace, ShaderMode
+from repro.isa import (
+    ALUClause,
+    ALUOp,
+    Bundle,
+    ExportClause,
+    FetchInstr,
+    StoreInstr,
+    TEXClause,
+    ValueLocation,
+    collect_stats,
+    disassemble,
+)
+from repro.isa.clauses import Value
+from repro.il.opcodes import ILOp
+from repro.kernels import KernelParams, generate_generic
+
+
+def gpr(i):
+    return Value(ValueLocation.GPR, i)
+
+
+class TestClauseInvariants:
+    def test_empty_tex_clause_rejected(self):
+        with pytest.raises(ValueError, match="empty TEX"):
+            TEXClause(())
+
+    def test_empty_alu_clause_rejected(self):
+        with pytest.raises(ValueError, match="empty ALU"):
+            ALUClause(())
+
+    def test_empty_export_clause_rejected(self):
+        with pytest.raises(ValueError, match="empty export"):
+            ExportClause(())
+
+    def test_bundle_slot_rules(self):
+        with pytest.raises(ValueError, match="transcendental"):
+            ALUOp("x", ILOp.SIN, gpr(1), (gpr(0),))
+        with pytest.raises(ValueError, match="invalid VLIW slot"):
+            ALUOp("q", ILOp.ADD, gpr(1), (gpr(0), gpr(0)))
+
+    def test_bundle_duplicate_slots_rejected(self):
+        ops = (
+            ALUOp("x", ILOp.ADD, gpr(1), (gpr(0), gpr(0))),
+            ALUOp("x", ILOp.ADD, gpr(2), (gpr(0), gpr(0))),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            Bundle(ops)
+
+    def test_bundle_width_limit(self):
+        ops = tuple(
+            ALUOp(slot, ILOp.ADD, gpr(i), (gpr(0), gpr(0)))
+            for i, slot in enumerate("xyzwt")
+        )
+        assert Bundle(ops).width == 5
+
+    def test_mixed_space_tex_clause_rejected(self):
+        clause = TEXClause(
+            (
+                FetchInstr(gpr(1), 0, MemorySpace.TEXTURE),
+                FetchInstr(gpr(2), 1, MemorySpace.GLOBAL),
+            )
+        )
+        with pytest.raises(ValueError, match="mixes"):
+            clause.space
+
+    def test_fetch_space_validated(self):
+        with pytest.raises(ValueError, match="invalid space"):
+            FetchInstr(gpr(1), 0, MemorySpace.COLOR_BUFFER)
+
+    def test_store_space_validated(self):
+        with pytest.raises(ValueError, match="invalid space"):
+            StoreInstr(0, MemorySpace.TEXTURE, gpr(1))
+
+    def test_value_rendering(self):
+        assert str(Value(ValueLocation.PREVIOUS_VECTOR, 0)) == "PV.x"
+        assert str(Value(ValueLocation.PREVIOUS_VECTOR, 2)) == "PV.z"
+        assert str(Value(ValueLocation.PREVIOUS_SCALAR, 0)) == "PS"
+        assert str(Value(ValueLocation.CLAUSE_TEMP, 1)) == "T1"
+        assert str(Value(ValueLocation.GPR, 7)) == "R7"
+        assert str(Value(ValueLocation.POSITION, 0)) == "R0"
+
+
+class TestISAProgram:
+    def test_ratio_convention(self):
+        program = compile_kernel(
+            generate_generic(KernelParams(inputs=4, alu_fetch_ratio=1.0))
+        )
+        # 16 ALU bundles over 4 fetches is a reported 1.0 (§III-A)
+        assert program.reported_alu_fetch_ratio() == pytest.approx(1.0)
+
+    def test_input_output_spaces(self):
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(
+                    input_space=MemorySpace.GLOBAL,
+                    output_space=MemorySpace.GLOBAL,
+                )
+            )
+        )
+        assert program.input_space is MemorySpace.GLOBAL
+        assert program.output_space is MemorySpace.GLOBAL
+
+
+class TestStats:
+    def test_counts_for_known_kernel(self):
+        program = compile_kernel(
+            generate_generic(KernelParams(inputs=16, alu_fetch_ratio=2.0))
+        )
+        stats = collect_stats(program)
+        assert stats.fetch_count == 16
+        assert stats.bundle_count == 128
+        assert stats.num_tex_clauses == 2
+        assert stats.store_count == 1
+        assert stats.burst_store_count == 1
+        assert stats.global_fetch_count == 0
+        assert stats.packing_density == pytest.approx(1.0)
+
+    def test_global_fetches_counted(self):
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=4, input_space=MemorySpace.GLOBAL)
+            )
+        )
+        stats = collect_stats(program)
+        assert stats.global_fetch_count == 4
+        assert stats.burst_store_count == 1
+
+    def test_transcendental_counted(self):
+        from repro.apps import montecarlo_kernel
+
+        program = compile_kernel(montecarlo_kernel(outputs=2, batches=3))
+        stats = collect_stats(program)
+        assert stats.transcendental_op_count == 9  # 3 per batch
+
+
+class TestDisassembly:
+    def test_fig2_style_output(self):
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=3, alu_ops=3, dtype=DataType.FLOAT4)
+            )
+        )
+        text = disassemble(program)
+        assert "TEX: ADDR(" in text
+        assert "CNT(3)" in text
+        assert "VALID_PIX" in text
+        assert "SAMPLE R" in text
+        assert "ALU: ADDR(" in text
+        assert "EXP_DONE: PIX0" in text
+        assert "END_OF_PROGRAM" in text
+
+    def test_compute_mode_drops_valid_pix(self):
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=3, alu_ops=3, mode=ShaderMode.COMPUTE)
+            )
+        )
+        text = disassemble(program)
+        assert "VALID_PIX" not in text
+        assert "MEM0" in text  # global output
+
+    def test_global_reads_disassemble_as_vfetch(self):
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=3, alu_ops=3, input_space=MemorySpace.GLOBAL)
+            )
+        )
+        assert "VFETCH" in disassemble(program)
+
+    def test_footer_reports_gprs_and_ratio(self):
+        program = compile_kernel(generate_generic(KernelParams(inputs=4)))
+        text = disassemble(program)
+        assert f"GPRs used: {program.gpr_count}" in text
+        assert "ALU:Fetch" in text

@@ -1,0 +1,99 @@
+"""Tests for model-guided parameter tuning."""
+
+import pytest
+
+from repro.analysis import (
+    CANDIDATE_BLOCKS,
+    balance_alu_fetch,
+    tune_block_size,
+    tune_register_pressure,
+)
+from repro.arch import RV770, RV870
+from repro.il.types import DataType, ShaderMode
+from repro.kernels import KernelParams, generate_generic
+from repro.sim.counters import Bound
+
+
+class TestTuneBlockSize:
+    def kernel(self, dtype=DataType.FLOAT4):
+        return generate_generic(
+            KernelParams(
+                inputs=16,
+                alu_fetch_ratio=0.5,
+                dtype=dtype,
+                mode=ShaderMode.COMPUTE,
+            )
+        )
+
+    def test_naive_64x1_is_never_best(self):
+        # §IV-A: the 1-D walk wastes the 2-D cache on every chip
+        for gpu in (RV770, RV870):
+            result = tune_block_size(self.kernel(), gpu)
+            assert result.best.setting != (64, 1)
+            assert result.improvement > 1.5
+
+    def test_all_candidates_tried(self):
+        result = tune_block_size(self.kernel(), RV770)
+        assert len(result.trials) == len(CANDIDATE_BLOCKS)
+        assert {t.setting for t in result.trials} == set(CANDIDATE_BLOCKS)
+
+    def test_pixel_kernel_rejected(self):
+        pixel = generate_generic(KernelParams(inputs=4, alu_ops=4))
+        with pytest.raises(ValueError, match="compute-mode"):
+            tune_block_size(pixel, RV770)
+
+    def test_summary_text(self):
+        result = tune_block_size(self.kernel(), RV770)
+        assert "best" in result.summary()
+
+
+class TestTuneRegisterPressure:
+    def test_sweet_spot_is_not_step_zero(self):
+        # Figure 16: the all-up-front layout (step 0, ~64 GPRs) is the
+        # slowest point of the sweep on the RV770
+        result = tune_register_pressure(
+            RV770, KernelParams(inputs=64, space=8, alu_fetch_ratio=1.0)
+        )
+        best_step, best_gprs = result.best.setting
+        assert best_step > 0
+        assert best_gprs < 60
+        assert result.improvement > 1.5
+
+    def test_trials_report_gprs(self):
+        result = tune_register_pressure(
+            RV770,
+            KernelParams(inputs=64, space=8, alu_fetch_ratio=1.0),
+            steps=(0, 4, 7),
+        )
+        gprs = [setting[1] for setting in (t.setting for t in result.trials)]
+        assert gprs == sorted(gprs, reverse=True)
+
+
+class TestBalanceAluFetch:
+    def test_matches_figure7_knees(self):
+        float_balance = balance_alu_fetch(
+            RV770, KernelParams(inputs=16, dtype=DataType.FLOAT)
+        )
+        vec_balance = balance_alu_fetch(
+            RV770, KernelParams(inputs=16, dtype=DataType.FLOAT4)
+        )
+        assert 1.0 <= float_balance <= 2.0  # paper ~1.25
+        assert 4.5 <= vec_balance <= 6.5  # paper ~5.0
+
+    def test_rv870_needs_more_arithmetic(self):
+        rv770 = balance_alu_fetch(
+            RV770, KernelParams(inputs=16, dtype=DataType.FLOAT4)
+        )
+        rv870 = balance_alu_fetch(
+            RV870, KernelParams(inputs=16, dtype=DataType.FLOAT4)
+        )
+        assert rv870 > rv770  # paper: knee moves from ~5.0 to ~9.0
+
+    def test_already_balanced_returns_floor(self):
+        # a 2-input kernel is ALU-bound almost immediately
+        balance = balance_alu_fetch(
+            RV770,
+            KernelParams(inputs=2, dtype=DataType.FLOAT),
+            tolerance=0.5,
+        )
+        assert balance <= 2.0

@@ -1,0 +1,86 @@
+"""Tests for table/figure rendering and the expectation machinery."""
+
+import pytest
+
+from repro.reporting import (
+    EXPECTATIONS,
+    ascii_chart,
+    check_expectations,
+    experiment_report,
+    render_table,
+)
+from repro.suite.results import ResultSet, Series, SeriesPoint
+
+
+def tiny_result(name="fig7", rising=True) -> ResultSet:
+    result = ResultSet(name=name, title="T", x_label="x")
+    series = Series(label="4870 Pixel Float")
+    for i in range(8):
+        y = 1.0 + (i * 0.5 if rising and i > 3 else 0.0)
+        series.add(SeriesPoint(x=float(i), seconds=y, bound="fetch"))
+    result.add_series(series)
+    return result
+
+
+class TestRenderTable:
+    def test_plain(self):
+        text = render_table(("a", "bb"), [("1", "2"), ("3", "4")])
+        lines = text.split("\n")
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_markdown(self):
+        text = render_table(("a", "b"), [("1", "2")], markdown=True)
+        assert text.startswith("| a")
+        assert "|--" in text.replace(" ", "").split("\n")[1]
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("a", "b"), [("1",)])
+
+
+class TestAsciiChart:
+    def test_contains_axes_and_legend(self):
+        chart = ascii_chart(tiny_result())
+        assert "4870 Pixel Float" in chart
+        assert "T" in chart.split("\n")[0]
+        assert "x" in chart
+
+    def test_marker_plotted(self):
+        chart = ascii_chart(tiny_result())
+        assert "o" in chart
+
+    def test_series_selection(self):
+        result = tiny_result()
+        chart = ascii_chart(result, series_labels=["4870 Pixel Float"])
+        assert "4870 Pixel Float" in chart
+
+    def test_empty_rejected(self):
+        empty = ResultSet(name="e", title="e", x_label="x")
+        with pytest.raises(ValueError):
+            ascii_chart(empty)
+
+
+class TestExpectations:
+    def test_registry_covers_every_figure(self):
+        figures = {e.figure for e in EXPECTATIONS}
+        assert {
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15a", "fig16", "fig17", "fig5ctl",
+        } <= figures
+
+    def test_missing_figures_are_skipped(self):
+        outcomes = check_expectations({})
+        assert outcomes == []
+
+    def test_partial_results_evaluate_partially(self):
+        outcomes = check_expectations({"fig7": tiny_result()})
+        assert outcomes
+        assert all(o.expectation.figure == "fig7" for o in outcomes)
+        assert all("fig8" not in o.expectation.requires for o in outcomes)
+
+    def test_report_format(self):
+        report = experiment_report({"fig7": tiny_result()}, markdown=True)
+        assert "| Figure" in report
+        assert "expectations hold" in report

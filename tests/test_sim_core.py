@@ -1,0 +1,245 @@
+"""Tests for simulator config, rasterizer, cache and memory models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import RV670, RV770, RV870
+from repro.il.types import DataType, ShaderMode
+from repro.sim import AccessPattern, LaunchConfig, SimConfig, access_pattern
+from repro.sim.cache import effective_capacity, texture_fetch_cost
+from repro.sim.config import NAIVE_BLOCK, PAPER_ITERATIONS, TILED_BLOCK
+from repro.sim.memory import (
+    MemoryPaths,
+    burst_export_cost,
+    concurrency_utilization,
+    global_read_cost,
+    global_write_cost,
+)
+from repro.sim.rasterizer import total_wavefronts, wavefronts_per_simd
+from repro.sim.texunit import texture_cost
+
+
+class TestLaunchConfig:
+    def test_paper_iterations_constant(self):
+        assert PAPER_ITERATIONS == 5000
+        assert LaunchConfig().iterations == 5000
+
+    def test_block_must_hold_one_wavefront(self):
+        with pytest.raises(ValueError, match="64-thread"):
+            LaunchConfig(block=(32, 1), mode=ShaderMode.COMPUTE)
+
+    def test_valid_blocks(self):
+        for block in (NAIVE_BLOCK, TILED_BLOCK, (8, 8), (16, 4)):
+            LaunchConfig(block=block)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(domain=(0, 10))
+
+    def test_thread_count(self):
+        assert LaunchConfig(domain=(256, 128)).threads == 32768
+
+
+class TestSimConfigValidation:
+    def test_negative_thrash_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(thrash_coeff=-0.1)
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(max_simulated_wavefronts=2)
+
+
+class TestRasterizer:
+    def test_pixel_mode_tiles_8x8(self):
+        pattern = access_pattern(LaunchConfig(domain=(1024, 1024)))
+        assert pattern.footprint == (8, 8)
+        assert pattern.tiled
+
+    def test_pixel_wavefront_count(self):
+        launch = LaunchConfig(domain=(1024, 1024))
+        assert total_wavefronts(launch) == 1024 * 1024 // 64
+
+    def test_pixel_partial_tiles_rounded_up(self):
+        launch = LaunchConfig(domain=(1000, 1000))
+        assert total_wavefronts(launch) == 125 * 125
+
+    def test_compute_naive_block(self):
+        launch = LaunchConfig(
+            domain=(1024, 1024), mode=ShaderMode.COMPUTE, block=(64, 1)
+        )
+        pattern = access_pattern(launch)
+        assert pattern.footprint == (64, 1)
+        assert pattern.one_dimensional
+        assert not pattern.tiled
+        assert pattern.reuse_distance == pytest.approx(16.0)
+
+    def test_compute_4x16_block(self):
+        launch = LaunchConfig(
+            domain=(1024, 1024), mode=ShaderMode.COMPUTE, block=(4, 16)
+        )
+        pattern = access_pattern(launch)
+        assert pattern.footprint == (4, 16)
+        assert not pattern.one_dimensional
+
+    def test_compute_padding_to_blocks(self):
+        launch = LaunchConfig(
+            domain=(100, 100), mode=ShaderMode.COMPUTE, block=(64, 1)
+        )
+        # ceil(100/64) * 100 = 2 * 100
+        assert total_wavefronts(launch) == 200
+
+    def test_wavefronts_per_simd_balances(self):
+        launch = LaunchConfig(domain=(1024, 1024))
+        assert wavefronts_per_simd(launch, 10) == math.ceil(16384 / 10)
+
+
+class TestCacheModel:
+    def make_pattern(self, footprint, tiled=False, distance=16.0):
+        return AccessPattern(
+            footprint=footprint,
+            tiled=tiled,
+            reuse_distance=distance,
+            domain=(1024, 1024),
+        )
+
+    def test_one_d_walk_halves_capacity(self):
+        cache = RV770.texture_l1
+        one_d = self.make_pattern((64, 1))
+        two_d = self.make_pattern((4, 16))
+        assert effective_capacity(cache, one_d) == cache.size_bytes / 2
+        assert effective_capacity(cache, two_d) == cache.size_bytes
+
+    def test_full_height_footprint_has_no_overfetch(self):
+        sim = SimConfig()
+        model = texture_fetch_cost(
+            RV770, DataType.FLOAT, self.make_pattern((8, 8), tiled=True, distance=2.0),
+            num_inputs=16, resident_wavefronts=15, sim=sim,
+        )
+        assert model.overfetch == pytest.approx(1.0)
+
+    def test_one_d_walk_overfetches(self):
+        sim = SimConfig()
+        model = texture_fetch_cost(
+            RV770, DataType.FLOAT, self.make_pattern((64, 1)),
+            num_inputs=16, resident_wavefronts=15, sim=sim,
+        )
+        assert model.overfetch > 1.5
+
+    def test_overfetch_bounded_by_tile_height(self):
+        sim = SimConfig()
+        tile_h = RV770.texture_l1.tile_shape(4)[1]
+        model = texture_fetch_cost(
+            RV770, DataType.FLOAT, self.make_pattern((64, 1), distance=1e9),
+            num_inputs=64, resident_wavefronts=32, sim=sim,
+        )
+        assert model.overfetch <= tile_h
+
+    def test_cache_model_ablation(self):
+        sim = SimConfig(cache_model=False)
+        model = texture_fetch_cost(
+            RV770, DataType.FLOAT, self.make_pattern((64, 1)),
+            num_inputs=16, resident_wavefronts=15, sim=sim,
+        )
+        assert model.overfetch == 1.0
+        assert model.miss_bytes == 64 * 4
+
+    def test_pressure_derates_bandwidth(self):
+        sim = SimConfig()
+        low = texture_fetch_cost(
+            RV770, DataType.FLOAT4, self.make_pattern((8, 8), tiled=True, distance=2.0),
+            num_inputs=64, resident_wavefronts=2, sim=sim,
+        )
+        high = texture_fetch_cost(
+            RV770, DataType.FLOAT4, self.make_pattern((8, 8), tiled=True, distance=2.0),
+            num_inputs=64, resident_wavefronts=32, sim=sim,
+        )
+        assert high.bandwidth_efficiency < low.bandwidth_efficiency
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        inputs=st.integers(min_value=1, max_value=64),
+        residents=st.integers(min_value=1, max_value=32),
+        dtype=st.sampled_from(list(DataType)),
+        fw=st.sampled_from([4, 8, 16, 64]),
+    )
+    def test_model_invariants(self, inputs, residents, dtype, fw):
+        sim = SimConfig()
+        fh = 64 // fw
+        model = texture_fetch_cost(
+            RV770, dtype, self.make_pattern((fw, fh)),
+            num_inputs=inputs, resident_wavefronts=residents, sim=sim,
+        )
+        assert model.miss_bytes >= 64 * dtype.bytes * 0.999
+        assert 1.0 <= model.overfetch <= 8.0
+        assert 0.0 < model.bandwidth_efficiency <= 1.0
+        assert 0.0 <= model.hit_rate <= 1.0
+        assert model.latency_cycles > 0
+
+
+class TestMemoryPaths:
+    def test_rv770_texture_fill_share(self):
+        paths = MemoryPaths.for_gpu(RV770)
+        # 115.2 GB/s x 0.85 / 10 SIMDs / 750 MHz ~= 13 B/cycle
+        assert paths.texture_fill_bpc == pytest.approx(13.06, rel=0.01)
+
+    def test_concurrency_utilization_saturates(self):
+        sim = SimConfig()
+        low = concurrency_utilization(1, sim)
+        high = concurrency_utilization(32, sim)
+        assert low == pytest.approx(0.5)
+        assert high > 0.95
+        assert concurrency_utilization(4, SimConfig(little_r_half=0)) == 1.0
+
+    def test_global_read_width_independent(self):
+        # uncoalesced reads pay a full transaction per thread (Fig 12)
+        sim = SimConfig()
+        paths = MemoryPaths.for_gpu(RV770)
+        f = global_read_cost(RV770, DataType.FLOAT, paths, 16, sim)
+        f4 = global_read_cost(RV770, DataType.FLOAT4, paths, 16, sim)
+        assert f == pytest.approx(f4)
+
+    def test_global_write_scales_with_width(self):
+        # write-combined stores move real bytes: float4 = 4x float (Fig 14)
+        sim = SimConfig()
+        paths = MemoryPaths.for_gpu(RV770)
+        f = global_write_cost(RV770, DataType.FLOAT, paths, 16, sim)
+        f4 = global_write_cost(RV770, DataType.FLOAT4, paths, 16, sim)
+        assert f4 == pytest.approx(4 * f)
+
+    def test_rv670_global_read_much_slower_than_rv770(self):
+        sim = SimConfig()
+        old = global_read_cost(
+            RV670, DataType.FLOAT, MemoryPaths.for_gpu(RV670), 16, sim
+        )
+        new = global_read_cost(
+            RV770, DataType.FLOAT, MemoryPaths.for_gpu(RV770), 16, sim
+        )
+        # per-SIMD: the RV670 path is far slower despite fewer SIMDs
+        assert old > new * 1.5
+
+    def test_burst_export_floor(self):
+        sim = SimConfig()
+        paths = MemoryPaths.for_gpu(RV870)
+        cost = burst_export_cost(RV870, DataType.FLOAT, paths, 32, sim)
+        assert cost >= RV870.burst_export_cycles
+
+    def test_burst_ablation_hurts_float(self):
+        paths = MemoryPaths.for_gpu(RV770)
+        on = burst_export_cost(RV770, DataType.FLOAT, paths, 16, SimConfig())
+        off = burst_export_cost(
+            RV770, DataType.FLOAT, paths, 16, SimConfig(burst_exports=False)
+        )
+        assert off > on  # float stores waste 3/4 of each transaction
+
+    def test_texture_cost_issue_floor(self):
+        # tiny data can never beat the 16-cycle issue time
+        sim = SimConfig()
+        paths = MemoryPaths.for_gpu(RV870)
+        pattern = AccessPattern((8, 8), True, 2.0, (64, 64))
+        cost = texture_cost(
+            RV870, DataType.FLOAT, pattern, 1, 32, paths, sim
+        )
+        assert cost.occupancy_cycles >= RV870.cycles_per_fetch_issue

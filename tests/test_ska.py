@@ -1,0 +1,80 @@
+"""Tests for the StreamKernelAnalyzer clone."""
+
+import pytest
+
+from repro.arch import RV770
+from repro.compiler import compile_kernel
+from repro.il import MemorySpace
+from repro.kernels import KernelParams, generate_generic
+from repro.sim.counters import Bound
+from repro.ska import analyze, format_report
+from repro.ska.analyzer import GOOD_RATIO_HIGH, GOOD_RATIO_LOW
+
+
+def program_for(ratio=1.0, **kwargs):
+    return compile_kernel(
+        generate_generic(KernelParams(alu_fetch_ratio=ratio, **kwargs))
+    )
+
+
+class TestAnalyzer:
+    def test_good_band_bounds_match_paper(self):
+        # "a good ALU:Fetch ratio lies between .98 and 1.09" (§III-A)
+        assert GOOD_RATIO_LOW == 0.98
+        assert GOOD_RATIO_HIGH == 1.09
+
+    def test_ratio_convention(self):
+        report = analyze(program_for(ratio=1.0))
+        assert report.alu_fetch_ratio == pytest.approx(1.0)
+        assert report.in_good_band
+
+    def test_ratio_outside_band(self):
+        assert not analyze(program_for(ratio=4.0)).in_good_band
+        assert not analyze(program_for(ratio=0.25)).in_good_band
+
+    def test_static_bound_predictions(self):
+        assert analyze(program_for(ratio=0.5)).predicted_bound is Bound.FETCH
+        assert analyze(program_for(ratio=4.0)).predicted_bound is Bound.ALU
+
+    def test_write_bound_prediction(self):
+        program = compile_kernel(
+            generate_generic(KernelParams(inputs=8, outputs=8, alu_ops=16))
+        )
+        assert analyze(program).predicted_bound is Bound.WRITE
+
+    def test_wavefront_count_with_gpu(self):
+        program = program_for(ratio=1.0, inputs=16)
+        report = analyze(program, RV770)
+        assert report.max_wavefronts == RV770.max_wavefronts_for_gprs(
+            program.gpr_count
+        )
+
+    def test_wavefront_count_without_gpu(self):
+        assert analyze(program_for()).max_wavefronts is None
+
+
+class TestReportFormat:
+    def test_report_fields_present(self):
+        program = program_for(ratio=1.0, inputs=8)
+        text = format_report(analyze(program, RV770))
+        for token in (
+            "GPRs used",
+            "ALU:Fetch ratio",
+            "good band",
+            "Wavefronts/SIMD",
+            "Static bound guess",
+        ):
+            assert token in text
+
+    def test_report_marks_out_of_band(self):
+        text = format_report(analyze(program_for(ratio=8.0)))
+        assert "outside" in text
+
+    def test_report_counts_global_fetches(self):
+        program = compile_kernel(
+            generate_generic(
+                KernelParams(inputs=4, input_space=MemorySpace.GLOBAL)
+            )
+        )
+        text = format_report(analyze(program))
+        assert "(4 global)" in text
