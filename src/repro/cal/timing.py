@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.cal.context import Context
 from repro.cal.device import Device, open_device
 from repro.cal.kernel_launch import Event
@@ -24,7 +25,18 @@ def time_kernel(
     time.  The context (and its allocations) is discarded afterwards.
     """
     dev = device if isinstance(device, Device) else open_device(device)
-    ctx = Context(dev, sim=sim or SimConfig())
-    module = ctx.load_module(kernel)
-    ctx.bind_streams(module, domain)
-    return ctx.run(module, domain=domain, block=block, iterations=iterations)
+    with telemetry.span(
+        "time_kernel", kernel=kernel.name, gpu=dev.spec.chip
+    ) as span:
+        ctx = Context(dev, sim=sim or SimConfig())
+        module = ctx.load_module(kernel)
+        ctx.bind_streams(module, domain)
+        event = ctx.run(
+            module, domain=domain, block=block, iterations=iterations
+        )
+        if span:
+            span.set(
+                seconds=round(event.seconds, 6),
+                bound=event.bottleneck.value,
+            )
+    return event

@@ -11,14 +11,22 @@ Commands:
 * ``advise`` — time a kernel and print the optimization directions.
 * ``figure`` — regenerate one of the paper's figures.
 * ``suite`` — run several figures and print the paper-claim checklist.
+* ``stats`` — summarize a telemetry manifest (JSONL) as tables.
+* ``profile`` — per-stage time attribution for one kernel run.
+
+``figure``, ``suite``, ``time`` and ``advise`` accept ``--telemetry
+FILE`` to record the run — spans, metrics, config hash, git SHA — as a
+JSONL manifest (see docs/telemetry.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
+from repro import telemetry
 from repro.arch import all_gpus, hardware_feature_table
 from repro.cal import Device, open_device, time_kernel
 from repro.compiler import compile_kernel
@@ -31,6 +39,7 @@ from repro.kernels import (
     generate_register_usage,
 )
 from repro.reporting import ascii_chart, experiment_report
+from repro.sim.config import SimConfig
 from repro.ska import analyze, format_report
 from repro.suite import BENCHMARKS, run_benchmark, run_suite
 
@@ -106,6 +115,14 @@ def _add_launch_arguments(parser: argparse.ArgumentParser) -> None:
     launch.add_argument("--iterations", type=int, default=5000)
 
 
+def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        help="record spans + metrics to FILE as a JSONL run manifest",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.split("\n")[0]
@@ -141,27 +158,70 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("time", help="simulate a kernel launch")
     _add_kernel_arguments(p)
     _add_launch_arguments(p)
+    _add_telemetry_argument(p)
 
     p = sub.add_parser("advise", help="time a kernel and print advice")
     _add_kernel_arguments(p)
     _add_launch_arguments(p)
+    _add_telemetry_argument(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("id", choices=sorted(BENCHMARKS))
     p.add_argument("--full", action="store_true")
     p.add_argument("--chart", action="store_true")
     p.add_argument("--save", metavar="DIR")
+    _add_telemetry_argument(p)
 
     p = sub.add_parser("suite", help="run figures and check paper claims")
     p.add_argument("--figures", nargs="*", default=None)
     p.add_argument("--full", action="store_true")
     p.add_argument("--out", metavar="DIR")
+    _add_telemetry_argument(p)
+
+    p = sub.add_parser(
+        "stats", help="summarize a telemetry manifest (JSONL)"
+    )
+    p.add_argument("manifest", help="manifest file written by --telemetry")
+    p.add_argument(
+        "--top", type=int, default=10, help="hottest spans to list"
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="run one kernel and print per-stage time attribution",
+    )
+    _add_kernel_arguments(p)
+    _add_launch_arguments(p)
+    _add_telemetry_argument(p)
+    p.add_argument(
+        "--top", type=int, default=10, help="hottest spans to list"
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    # ``--telemetry`` records the whole invocation; ``profile`` records
+    # in-memory even without a manifest path so it has spans to render.
+    telemetry_path = getattr(args, "telemetry", None)
+    recorder = (
+        telemetry.recording(
+            telemetry_path,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            config=SimConfig(),
+        )
+        if telemetry_path is not None or args.command == "profile"
+        else nullcontext()
+    )
+    with recorder:
+        code = _dispatch(args)
+    if telemetry_path is not None and code == 0:
+        print(f"telemetry manifest: {telemetry_path}")
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "devices":
         for gpu in all_gpus():
             print(Device(gpu).info())
@@ -232,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "figure":
         result = run_benchmark(args.id, fast=not args.full)
+        if args.telemetry:
+            result.manifest = args.telemetry
         print(result.format_table())
         if args.chart:
             print()
@@ -244,10 +306,48 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "suite":
-        results = run_suite(
-            figures=args.figures, fast=not args.full, out_dir=args.out
-        )
+        # The run is already being recorded at main() level when
+        # --telemetry is set, so only stamp + save here (run_suite's own
+        # telemetry_out would open a second, nested recording).
+        results = run_suite(figures=args.figures, fast=not args.full)
+        for result in results.values():
+            if args.telemetry:
+                result.manifest = args.telemetry
+            if args.out:
+                directory = Path(args.out)
+                directory.mkdir(parents=True, exist_ok=True)
+                result.save(directory / f"{result.name}.json")
         print(experiment_report(results, markdown=False))
+        return 0
+
+    if args.command == "stats":
+        try:
+            records = telemetry.read_manifest(args.manifest)
+        except (OSError, ValueError) as exc:
+            print(f"repro stats: {exc}", file=sys.stderr)
+            return 1
+        print(telemetry.summarize_manifest(records, top=args.top))
+        return 0
+
+    if args.command == "profile":
+        kernel = _kernel_from_args(args)
+        event = time_kernel(
+            args.gpu,
+            kernel,
+            domain=tuple(args.domain),
+            block=tuple(args.block),
+            iterations=args.iterations,
+        )
+        print(
+            f"{kernel.name} on {args.gpu}: {event.seconds:.4f} s, "
+            f"bound={event.bottleneck.value}"
+        )
+        print()
+        print(
+            telemetry.profile_report(
+                telemetry.get_tracer(), telemetry.metrics(), top=args.top
+            )
+        )
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

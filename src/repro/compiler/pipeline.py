@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.compiler.clauses import (
     ALUSegment,
     FetchSegment,
@@ -56,30 +57,50 @@ def compile_kernel(
     if options is None:
         options = CompileOptions.for_gpu(gpu) if gpu is not None else CompileOptions()
 
-    validate_kernel(kernel)
-    kernel, _removed = eliminate_dead_code(kernel)
-    # DCE cannot invalidate the kernel (stores are roots), but re-check in
-    # case a pathological kernel stored an input that fed nothing else.
-    validate_kernel(kernel)
+    with telemetry.span(
+        "compile",
+        kernel=kernel.name,
+        mode=kernel.mode.value,
+        gpu=gpu.chip if gpu is not None else None,
+    ) as span:
+        validate_kernel(kernel)
+        kernel, _removed = eliminate_dead_code(kernel)
+        # DCE cannot invalidate the kernel (stores are roots), but re-check in
+        # case a pathological kernel stored an input that fed nothing else.
+        validate_kernel(kernel)
 
-    proto: list[ProtoClause] = []
-    for segment in form_segments(kernel):
-        if isinstance(segment, FetchSegment):
-            for group in chunk(segment.fetches, options.max_tex_per_clause):
-                proto.append(ProtoTexClause(group))
-        elif isinstance(segment, ALUSegment):
-            bundles = pack_bundles(segment.instructions)
-            for group in chunk(bundles, options.max_alu_per_clause):
-                proto.append(ProtoALUClause(group))
-        elif isinstance(segment, StoreSegment):
-            proto.append(ProtoExportClause(segment.stores))
-        else:  # pragma: no cover - defensive
-            raise CompileError(f"unknown segment {segment!r}")
+        proto: list[ProtoClause] = []
+        for segment in form_segments(kernel):
+            if isinstance(segment, FetchSegment):
+                for group in chunk(segment.fetches, options.max_tex_per_clause):
+                    proto.append(ProtoTexClause(group))
+            elif isinstance(segment, ALUSegment):
+                bundles = pack_bundles(segment.instructions)
+                for group in chunk(bundles, options.max_alu_per_clause):
+                    proto.append(ProtoALUClause(group))
+            elif isinstance(segment, StoreSegment):
+                proto.append(ProtoExportClause(segment.stores))
+            else:  # pragma: no cover - defensive
+                raise CompileError(f"unknown segment {segment!r}")
 
-    result = allocate(kernel, proto)
-    return ISAProgram(
-        kernel=kernel,
-        clauses=result.clauses,
-        gpr_count=result.gpr_count,
-        clause_temp_count=result.clause_temp_count,
-    )
+        result = allocate(kernel, proto)
+        program = ISAProgram(
+            kernel=kernel,
+            clauses=result.clauses,
+            gpr_count=result.gpr_count,
+            clause_temp_count=result.clause_temp_count,
+        )
+        if span:
+            span.set(
+                gprs=program.gpr_count,
+                clauses=len(program.clauses),
+                dce_removed=_removed,
+            )
+            registry = telemetry.metrics()
+            registry.counter("compile.kernels").inc()
+            registry.counter("compile.dce_removed").inc(_removed)
+            registry.histogram("compile.gprs").observe(program.gpr_count)
+            registry.histogram("compile.clauses").observe(
+                len(program.clauses)
+            )
+    return program

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.il.module import ILKernel
 from repro.il.opcodes import ILOp
 from repro.il.types import MemorySpace
@@ -69,6 +70,20 @@ def execute_program(
     :func:`repro.sim.functional.execute_kernel`, so the two executors are
     directly comparable.
     """
+    with telemetry.span(
+        "isa.execute",
+        kernel=program.kernel.name,
+        domain=f"{domain[0]}x{domain[1]}",
+    ):
+        return _execute_program(program, inputs, domain, constants)
+
+
+def _execute_program(
+    program: ISAProgram,
+    inputs: dict[int, np.ndarray],
+    domain: tuple[int, int],
+    constants: dict[int, np.ndarray | float] | None = None,
+) -> dict[int, np.ndarray]:
     kernel = program.kernel
     width, height = domain
     components = kernel.dtype.components

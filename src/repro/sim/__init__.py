@@ -28,6 +28,7 @@ Little's-law term (few wavefronts cannot fill a deep memory pipeline).
 from repro.sim.config import LaunchConfig, SimConfig
 from repro.sim.engine import LaunchResult, simulate_launch
 from repro.sim.counters import Counters, Resource
+from repro.sim.prepare import PreparedLaunch, prepare_launch
 from repro.sim.rasterizer import AccessPattern, access_pattern, total_wavefronts
 from repro.sim.trace import TraceEvent, render_gantt, trace_launch
 
@@ -36,10 +37,12 @@ __all__ = [
     "Counters",
     "LaunchConfig",
     "LaunchResult",
+    "PreparedLaunch",
     "Resource",
     "SimConfig",
     "TraceEvent",
     "access_pattern",
+    "prepare_launch",
     "render_gantt",
     "simulate_launch",
     "total_wavefronts",

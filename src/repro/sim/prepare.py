@@ -1,0 +1,63 @@
+"""Shared launch preparation: one place turns (program, gpu, launch, sim)
+into the wavefront program plus its residency/decomposition numbers.
+
+Both the timing engine (:mod:`repro.sim.engine`) and the Gantt tracer
+(:mod:`repro.sim.trace`) previously repeated the same access-pattern /
+wavefronts-per-SIMD / residency / wavefront-program sequence; preparing a
+launch here guarantees they consume an identical event stream for
+identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec
+from repro.isa.program import ISAProgram
+from repro.sim.config import LaunchConfig, SimConfig
+from repro.sim.memory import MemoryPaths
+from repro.sim.rasterizer import (
+    AccessPattern,
+    access_pattern,
+    total_wavefronts,
+    wavefronts_per_simd,
+)
+from repro.sim.scheduler import resident_wavefronts
+from repro.sim.wavefront import WavefrontProgram, build_wavefront_program
+
+
+@dataclass(frozen=True)
+class PreparedLaunch:
+    """Everything the event model needs to execute one launch."""
+
+    pattern: AccessPattern
+    total_wavefronts: int
+    wavefronts_per_simd: int
+    resident_wavefronts: int
+    paths: MemoryPaths
+    wavefront_program: WavefrontProgram
+
+
+def prepare_launch(
+    program: ISAProgram,
+    gpu: GPUSpec,
+    launch: LaunchConfig,
+    sim: SimConfig,
+) -> PreparedLaunch:
+    """Decompose the launch and cost the per-wavefront clause program."""
+    pattern = access_pattern(launch, sim)
+    total = total_wavefronts(launch)
+    on_simd = wavefronts_per_simd(launch, gpu.num_simds)
+    resident = resident_wavefronts(program, gpu, on_simd, sim)
+    paths = MemoryPaths.for_gpu(gpu)
+    wf_program = build_wavefront_program(
+        program, gpu, pattern, resident, sim, paths
+    )
+    return PreparedLaunch(
+        pattern=pattern,
+        total_wavefronts=total,
+        wavefronts_per_simd=on_simd,
+        resident_wavefronts=resident,
+        paths=paths,
+        wavefront_program=wf_program,
+    )

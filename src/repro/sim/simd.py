@@ -38,8 +38,16 @@ def simulate_simd(
     resident: int,
     total: int,
     sim: SimConfig | None = None,
+    record: list | None = None,
 ) -> SIMDResult:
-    """Run ``total`` wavefronts with at most ``resident`` concurrent."""
+    """Run ``total`` wavefronts with at most ``resident`` concurrent.
+
+    ``record`` (any list-like, e.g. a telemetry
+    :class:`~repro.telemetry.hooks.EventStream`) receives one
+    :class:`~repro.sim.trace.TraceEvent` per simulated clause execution —
+    only the exactly-simulated window is recorded, never the
+    extrapolated remainder.
+    """
     sim = sim or SimConfig()
     if resident < 1:
         raise ValueError("at least one resident wavefront is required")
@@ -51,7 +59,9 @@ def simulate_simd(
     else:
         window = min(total, max(sim.max_simulated_wavefronts, 4 * resident))
 
-    makespan, busy, completions = _run_event_loop(program, resident, window)
+    makespan, busy, completions = _run_event_loop(
+        program, resident, window, record=record
+    )
 
     if window == total:
         return SIMDResult(makespan, busy, window, total)

@@ -15,10 +15,8 @@ from repro.arch.specs import GPUSpec
 from repro.isa.program import ISAProgram
 from repro.sim.config import LaunchConfig, SimConfig
 from repro.sim.counters import Resource
-from repro.sim.memory import MemoryPaths
-from repro.sim.rasterizer import access_pattern, wavefronts_per_simd
-from repro.sim.scheduler import resident_wavefronts
-from repro.sim.wavefront import build_wavefront_program
+from repro.sim.prepare import prepare_launch
+from repro.telemetry.hooks import EventStream
 
 
 @dataclass(frozen=True)
@@ -49,25 +47,26 @@ def trace_launch(
     launch: LaunchConfig | None = None,
     sim: SimConfig | None = None,
     max_wavefronts: int | None = None,
-) -> list[TraceEvent]:
+) -> EventStream:
     """Trace one SIMD engine executing the launch's first wavefronts.
 
     ``max_wavefronts`` caps the traced prefix (default: two resident
-    sets) so the Gantt stays readable.
+    sets) so the Gantt stays readable.  Returns the same
+    :class:`~repro.telemetry.hooks.EventStream` that
+    ``SimConfig.clause_stream`` would collect — the Gantt renderer and
+    telemetry consume one event shape from one producer.
     """
     from repro.sim.simd import _run_event_loop
 
     launch = launch or LaunchConfig()
     sim = sim or SimConfig()
-    pattern = access_pattern(launch, sim)
-    on_simd = wavefronts_per_simd(launch, gpu.num_simds)
-    residents = resident_wavefronts(program, gpu, on_simd, sim)
-    wf_program = build_wavefront_program(
-        program, gpu, pattern, residents, sim, MemoryPaths.for_gpu(gpu)
+    prep = prepare_launch(program, gpu, launch, sim)
+    residents = prep.resident_wavefronts
+    count = min(
+        prep.wavefronts_per_simd, max_wavefronts or 2 * residents
     )
-    count = min(on_simd, max_wavefronts or 2 * residents)
-    events: list[TraceEvent] = []
-    _run_event_loop(wf_program, residents, count, record=events)
+    events = EventStream()
+    _run_event_loop(prep.wavefront_program, residents, count, record=events)
     return events
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.arch.registry import all_gpus
 from repro.arch.specs import GPUSpec
 from repro.cal.device import Device
@@ -114,30 +115,43 @@ class MicroBenchmark(abc.ABC):
                 "fast": fast,
             },
         )
-        for spec in self.series_specs(gpus):
-            series = Series(label=spec.label)
-            device = Device(spec.gpu)
-            for value in self.sweep_values(fast):
-                kernel = self.build_kernel(value, spec)
-                event = time_kernel(
-                    device,
-                    kernel,
-                    domain=self.domain_for(value, spec),
-                    block=spec.block,
-                    iterations=self.iterations,
-                    sim=self.sim,
+        with telemetry.span("figure", figure=self.name, fast=fast) as fig_span:
+            for spec in self.series_specs(gpus):
+                series = Series(label=spec.label)
+                device = Device(spec.gpu)
+                with telemetry.span(
+                    "series", figure=self.name, label=spec.label
+                ):
+                    for value in self.sweep_values(fast):
+                        kernel = self.build_kernel(value, spec)
+                        event = time_kernel(
+                            device,
+                            kernel,
+                            domain=self.domain_for(value, spec),
+                            block=spec.block,
+                            iterations=self.iterations,
+                            sim=self.sim,
+                        )
+                        program = event.result.program
+                        series.add(
+                            SeriesPoint(
+                                x=self.x_of(value, kernel, program.gpr_count),
+                                seconds=event.seconds,
+                                gprs=program.gpr_count,
+                                resident_wavefronts=(
+                                    event.counters.resident_wavefronts
+                                ),
+                                bound=event.bottleneck.value,
+                            )
+                        )
+                        if telemetry.enabled():
+                            telemetry.metrics().counter(
+                                "suite.points", figure=self.name
+                            ).inc()
+                result.add_series(series)
+            if fig_span:
+                fig_span.set(
+                    series=len(result.series),
+                    points=sum(len(s) for s in result.series),
                 )
-                program = event.result.program
-                series.add(
-                    SeriesPoint(
-                        x=self.x_of(value, kernel, program.gpr_count),
-                        seconds=event.seconds,
-                        gprs=program.gpr_count,
-                        resident_wavefronts=(
-                            event.counters.resident_wavefronts
-                        ),
-                        bound=event.bottleneck.value,
-                    )
-                )
-            result.add_series(series)
         return result

@@ -60,6 +60,11 @@ class ResultSet:
     y_label: str = "Time in seconds"
     series: list[Series] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+    #: path of the telemetry manifest recorded alongside this run, if any
+    #: (see docs/telemetry.md).  Optional: older JSON files lack the key
+    #: and serialization omits it when unset, so golden fixtures are
+    #: byte-stable.
+    manifest: str | None = None
 
     def add_series(self, series: Series) -> None:
         self.series.append(series)
@@ -85,6 +90,7 @@ class ResultSet:
                 "x_label": self.x_label,
                 "y_label": self.y_label,
                 "metadata": self.metadata,
+                **({"manifest": self.manifest} if self.manifest else {}),
                 "series": [
                     {
                         "label": s.label,
@@ -105,6 +111,7 @@ class ResultSet:
             x_label=raw["x_label"],
             y_label=raw.get("y_label", "Time in seconds"),
             metadata=raw.get("metadata", {}),
+            manifest=raw.get("manifest"),
         )
         for s in raw["series"]:
             series = Series(label=s["label"])

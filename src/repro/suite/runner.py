@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from contextlib import nullcontext
 from pathlib import Path
 
+from repro import telemetry
 from repro.arch.registry import all_gpus
 from repro.arch.specs import GPUSpec
 from repro.sim.config import SimConfig
@@ -57,15 +59,36 @@ def run_suite(
     gpus: tuple[GPUSpec, ...] | None = None,
     fast: bool = False,
     out_dir: str | Path | None = None,
+    telemetry_out: str | Path | None = None,
 ) -> dict[str, ResultSet]:
-    """Run several figures; optionally persist each as JSON in ``out_dir``."""
+    """Run several figures; optionally persist each as JSON in ``out_dir``.
+
+    ``telemetry_out`` records the whole run — every compile and simulated
+    launch — and writes a JSONL manifest there; each returned
+    :class:`ResultSet` then carries the manifest path in its ``manifest``
+    field (and its saved JSON), tying figure data to its provenance.
+    """
     names = list(figures) if figures is not None else sorted(BENCHMARKS)
     gpus = gpus if gpus is not None else all_gpus()
     results: dict[str, ResultSet] = {}
-    for name in names:
-        results[name] = run_benchmark(name, gpus=gpus, fast=fast)
-        if out_dir is not None:
-            directory = Path(out_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            results[name].save(directory / f"{name}.json")
+
+    recorder = (
+        telemetry.recording(
+            telemetry_out,
+            argv=["run_suite", *names],
+            config=SimConfig(),
+            extra={"figures": names, "fast": fast},
+        )
+        if telemetry_out is not None
+        else nullcontext()
+    )
+    with recorder:
+        for name in names:
+            results[name] = run_benchmark(name, gpus=gpus, fast=fast)
+            if telemetry_out is not None:
+                results[name].manifest = str(telemetry_out)
+            if out_dir is not None:
+                directory = Path(out_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                results[name].save(directory / f"{name}.json")
     return results

@@ -1,0 +1,49 @@
+"""The simulator-level event hook: one clause-event stream, two consumers.
+
+The discrete-event SIMD model (:func:`repro.sim.simd._run_event_loop`)
+can record every clause execution into any list-like sink.  Historically
+only the Gantt renderer (:mod:`repro.sim.trace`) consumed that stream;
+telemetry wants the same events for per-resource occupancy metrics.
+:class:`EventStream` is the shared sink both consume: attach one to
+``SimConfig.clause_stream`` and :func:`repro.sim.engine.simulate_launch`
+feeds it, after which the identical event objects can be rendered as a
+Gantt chart *and* folded into metrics — there is exactly one producer and
+one stream, so the two views can never disagree.
+
+Stdlib-only by design: :mod:`repro.sim.config` imports this module, so it
+must not import anything from :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+
+class EventStream(list):
+    """An ordered clause-event sink (a list with an explicit ``emit``).
+
+    Elements are :class:`repro.sim.trace.TraceEvent` instances.  Being a
+    ``list`` subclass keeps the simulator's recording loop free of any
+    indirection — it appends directly.
+    """
+
+    __slots__ = ()
+
+    def emit(self, event) -> None:
+        self.append(event)
+
+    def busy_cycles_by_resource(self) -> dict:
+        """Total occupancy per resource across the stream."""
+        busy: dict = {}
+        for event in self:
+            busy[event.resource] = busy.get(event.resource, 0.0) + (
+                event.end - event.start
+            )
+        return busy
+
+    def queue_delay_by_resource(self) -> dict:
+        """Total cycles wavefronts spent waiting, per resource."""
+        waits: dict = {}
+        for event in self:
+            waits[event.resource] = (
+                waits.get(event.resource, 0.0) + event.queue_delay
+            )
+        return waits

@@ -1,0 +1,196 @@
+"""Metrics registry: counters, gauges, histograms with percentiles.
+
+Complements the per-launch :class:`repro.sim.counters.Counters` cycle
+accounting: where ``Counters`` describes *one* simulated launch, the
+registry aggregates *across* a run — how many launches were ALU- vs
+fetch-bound, the distribution of makespans, resident-wavefront counts and
+cache hit rates over a whole figure sweep.  Stdlib-only, like the rest of
+:mod:`repro.telemetry`.
+
+Metrics are identified by name plus optional labels::
+
+    registry.counter("sim.bottleneck", bound="alu").inc()
+
+Each distinct ``(name, labels)`` pair is one instrument; snapshots render
+labels into the name (``sim.bottleneck{bound=alu}``) for tables and
+manifests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (launches run, cycles spent...)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def to_record(self) -> dict:
+        return {
+            "type": "metric",
+            "kind": "counter",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_record(self) -> dict:
+        return {
+            "type": "metric",
+            "kind": "gauge",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+@dataclass
+class Histogram:
+    """Value distribution with exact percentile summaries.
+
+    Keeps every observation — run sizes here are thousands of points, so
+    exactness is cheaper than maintaining bucket boundaries that would
+    need tuning per metric.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        rank = (len(ordered) - 1) * p / 100.0
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+    def summary(self) -> dict:
+        """count/sum/min/mean/percentiles — the manifest's digest."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.values),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": max(self.values),
+        }
+
+    def to_record(self) -> dict:
+        return {
+            "type": "metric",
+            "kind": "histogram",
+            "name": self.name,
+            **self.summary(),
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by rendered name."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=key)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def get(self, rendered_name: str):
+        """Look up by rendered name, e.g. ``"sim.bottleneck{bound=alu}"``."""
+        return self._metrics.get(rendered_name)
+
+    def records(self) -> list[dict]:
+        """Manifest records, sorted by name for stable output."""
+        return [
+            self._metrics[key].to_record() for key in sorted(self._metrics)
+        ]
+
+
+# ---- module-global registry --------------------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (reset by :func:`reset_registry`)."""
+    return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install and return a fresh registry (start of a recorded run)."""
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry

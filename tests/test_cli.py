@@ -137,6 +137,74 @@ class TestFigureCommands:
         assert "1/4th" in out  # the fig14 claim was evaluated
 
 
+class TestTelemetryCommands:
+    def test_figure_telemetry_writes_manifest(self, tmp_path, capsys):
+        from repro import telemetry
+
+        manifest = tmp_path / "fig13.jsonl"
+        assert (
+            main(["figure", "fig13", "--telemetry", str(manifest)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert f"telemetry manifest: {manifest}" in out
+        records = telemetry.read_manifest(manifest)
+        assert records[0]["type"] == "run"
+        assert records[0]["config_hash"]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"figure", "series", "compile", "simulate"} <= names
+        metrics = {r["name"] for r in records if r["type"] == "metric"}
+        assert any(n.startswith("sim.bottleneck{") for n in metrics)
+
+    def test_stats_summarizes_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "time",
+                    "--inputs",
+                    "4",
+                    "--iterations",
+                    "10",
+                    "--telemetry",
+                    str(manifest),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage attribution:" in out
+        assert "config_hash:" in out
+        assert "simulate" in out
+        assert "Counters and gauges:" in out
+
+    def test_stats_missing_file_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 1
+        assert "repro stats:" in capsys.readouterr().err
+
+    def test_stats_rejects_non_manifest(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"type": "nope"}\n')
+        assert main(["stats", str(bogus)]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+    def test_profile_prints_attribution(self, capsys):
+        assert (
+            main(["profile", "--inputs", "4", "--iterations", "10"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Per-stage attribution:" in out
+        assert "hottest spans:" in out
+        assert "simulate" in out and "compile" in out
+
+    def test_telemetry_off_after_command(self):
+        from repro import telemetry
+
+        assert main(["profile", "--inputs", "2", "--iterations", "1"]) == 0
+        assert not telemetry.enabled()
+
+
 class TestTraceAndTopology:
     def test_topology(self, capsys):
         assert main(["topology", "--gpu", "5870"]) == 0

@@ -143,8 +143,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     out_dir = REPO / "results" / "figures"
+    manifest_path = out_dir / "manifest.jsonl"
     started = time.time()
-    results = run_suite(fast=args.fast, out_dir=out_dir)
+    results = run_suite(
+        fast=args.fast, out_dir=out_dir, telemetry_out=manifest_path
+    )
     elapsed = time.time() - started
     for name, result in results.items():
         (out_dir / f"{name}.txt").write_text(ascii_chart(result) + "\n")
@@ -169,6 +172,13 @@ def main(argv=None) -> int:
         f"{' --fast' if args.fast else ''}` "
         f"({'fast' if args.fast else 'full'} sweeps, {elapsed:.0f}s; data "
         "tables under `results/figures/*.json|csv`)."
+    )
+    lines.append("")
+    lines.append(
+        "Telemetry manifest for the whole run (spans, per-stage metrics, "
+        "config hash, git SHA): `results/figures/manifest.jsonl` — "
+        "summarize with `python -m repro stats "
+        "results/figures/manifest.jsonl` (see docs/telemetry.md)."
     )
     lines.append("")
     lines.append("## Claim checklist")
@@ -202,6 +212,12 @@ def main(argv=None) -> int:
         note = FIGURE_NOTES.get(name)
         if note:
             lines.append(note)
+            lines.append("")
+        if result.manifest:
+            manifest_rel = Path(result.manifest)
+            if manifest_rel.is_absolute():
+                manifest_rel = manifest_rel.relative_to(REPO)
+            lines.append(f"Telemetry manifest: `{manifest_rel}`")
             lines.append("")
         if name in KNEE_FIGURES:
             lines.append(knee_table(result))
