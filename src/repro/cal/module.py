@@ -9,7 +9,6 @@ import numpy as np
 from repro.cal.errors import BindingError
 from repro.cal.resource import Resource
 from repro.il.module import ILKernel
-from repro.il.types import MemorySpace
 from repro.isa.program import ISAProgram
 
 

@@ -6,6 +6,7 @@ Commands:
 * ``table1`` — the paper's hardware table.
 * ``generate`` — emit a micro-benchmark kernel's IL to stdout.
 * ``compile`` — compile IL (file or stdin) and print the ISA disassembly.
+* ``lint`` — run the kernel verifier and report every diagnostic.
 * ``ska`` — static StreamKernelAnalyzer-style report for a kernel.
 * ``time`` — simulate a kernel launch and report seconds + bottleneck.
 * ``advise`` — time a kernel and print the optimization directions.
@@ -65,7 +66,10 @@ def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
         "--dtype", choices=[d.value for d in DataType], default="float"
     )
     source.add_argument(
-        "--mode", choices=[m.value for m in ShaderMode], default="pixel"
+        "--mode",
+        choices=[m.value for m in ShaderMode] + ["ps", "cs"],
+        default="pixel",
+        help="shader mode (ps = pixel, cs = compute)",
     )
     source.add_argument(
         "--global-inputs", action="store_true", help="read inputs via global memory"
@@ -151,9 +155,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compile", help="compile and disassemble a kernel")
     _add_kernel_arguments(p)
 
+    p = sub.add_parser(
+        "lint", help="verify a kernel and report every diagnostic"
+    )
+    _add_kernel_arguments(p)
+    p.add_argument("--gpu", default=None, help="chip supplying clause limits")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     p = sub.add_parser("ska", help="static analysis report")
     _add_kernel_arguments(p)
     p.add_argument("--gpu", default="4870")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on verifier warnings as well as errors",
+    )
 
     p = sub.add_parser("time", help="simulate a kernel launch")
     _add_kernel_arguments(p)
@@ -264,9 +287,26 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(disassemble(program))
         return 0
 
+    if args.command == "lint":
+        import json as _json
+
+        from repro.verify import lint_kernel
+
+        kernel = _kernel_from_args(args)
+        gpu = open_device(args.gpu).spec if args.gpu else None
+        report = lint_kernel(kernel, gpu)
+        if args.json:
+            print(_json.dumps(report.to_json(), indent=2))
+        else:
+            print(report.format())
+        return report.exit_code(strict=args.strict)
+
     if args.command == "ska":
         program = compile_kernel(_kernel_from_args(args))
-        print(format_report(analyze(program, open_device(args.gpu).spec)))
+        report = analyze(program, open_device(args.gpu).spec, verify=True)
+        print(format_report(report))
+        if report.error_count or (args.strict and report.warning_count):
+            return 1
         return 0
 
     if args.command in ("time", "advise"):

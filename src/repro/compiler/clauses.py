@@ -19,7 +19,6 @@ from repro.il.instructions import (
     ExportInstruction,
     GlobalLoadInstruction,
     GlobalStoreInstruction,
-    ILInstruction,
     SampleInstruction,
 )
 from repro.il.module import ILKernel

@@ -9,14 +9,10 @@ pass to prove it.
 from __future__ import annotations
 
 from repro.il.instructions import (
-    ALUInstruction,
     ExportInstruction,
-    GlobalLoadInstruction,
     GlobalStoreInstruction,
-    ILInstruction,
     Register,
     RegisterFile,
-    SampleInstruction,
 )
 from repro.il.module import ILKernel
 

@@ -47,13 +47,27 @@ def compile_kernel(
     kernel: ILKernel,
     gpu: GPUSpec | None = None,
     options: CompileOptions | None = None,
+    verify: bool | None = None,
 ) -> ISAProgram:
     """Lower an IL kernel to a clause-structured ISA program.
 
     ``gpu`` (or explicit ``options``) supplies the clause-size limits; the
     defaults match all three chips in the paper, so figure-generation code
     may omit it.
+
+    ``verify=True`` runs the :mod:`repro.verify` stack over the compile:
+    each pass is differentially validated (seeded functional execution
+    before/after) and the lowered program must pass the ISA legality
+    checks and match the IL executor bit-for-bit, else
+    :class:`repro.verify.VerificationError` is raised.  ``None`` defers
+    to :func:`repro.verify.default_verify` (off unless the test/figure
+    harness turned it on).
     """
+    # Imported lazily: repro.verify's engine imports this module.
+    from repro.verify.engine import default_verify
+
+    if verify is None:
+        verify = default_verify()
     if options is None:
         options = CompileOptions.for_gpu(gpu) if gpu is not None else CompileOptions()
 
@@ -64,7 +78,20 @@ def compile_kernel(
         gpu=gpu.chip if gpu is not None else None,
     ) as span:
         validate_kernel(kernel)
+        original = kernel
         kernel, _removed = eliminate_dead_code(kernel)
+        if verify and kernel is not original:
+            from repro.verify.differential import (
+                PassValidationError,
+                check_il_pass,
+            )
+
+            drift = check_il_pass(original, kernel, "eliminate_dead_code")
+            if drift:
+                raise PassValidationError(
+                    "differential validation of pass 'eliminate_dead_code' "
+                    "failed:\n" + "\n".join(f"  {d}" for d in drift)
+                )
         # DCE cannot invalidate the kernel (stores are roots), but re-check in
         # case a pathological kernel stored an input that fed nothing else.
         validate_kernel(kernel)
@@ -90,6 +117,18 @@ def compile_kernel(
             gpr_count=result.gpr_count,
             clause_temp_count=result.clause_temp_count,
         )
+        if verify:
+            from repro.verify.engine import verify_compiled
+
+            with telemetry.span(
+                "verify", kernel=kernel.name, mode=kernel.mode.value
+            ):
+                verify_compiled(
+                    original,
+                    program,
+                    max_tex_per_clause=options.max_tex_per_clause,
+                    max_alu_per_clause=options.max_alu_per_clause,
+                )
         if span:
             span.set(
                 gprs=program.gpr_count,

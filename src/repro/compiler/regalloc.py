@@ -21,16 +21,14 @@ The allocation strategy mirrors §II-A/§III of the paper:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.errors import CompileError, ResourceLimitError
 from repro.compiler.vliw import ProtoBundle
 from repro.il.instructions import (
-    ALUInstruction,
     ExportInstruction,
     GlobalLoadInstruction,
     GlobalStoreInstruction,
-    Operand,
     Register,
     RegisterFile,
     SampleInstruction,
@@ -124,14 +122,16 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
     temp_count = _allocate_clause_temps(proto, defs, uses, storage)
     gpr_map, gpr_count = _allocate_gprs(defs, uses, storage)
 
-    def locate(reg: Register, use: _UseInfo | None = None) -> Value:
+    def locate(
+        reg: Register, use: _UseInfo | None = None, negate: bool = False
+    ) -> Value:
         """Resolve a register reference at a given use site."""
         if reg.file is RegisterFile.POSITION:
-            return Value(ValueLocation.POSITION, 0)
+            return Value(ValueLocation.POSITION, 0, negate)
         if reg.file is RegisterFile.CONST:
-            return Value(ValueLocation.CONSTANT, reg.index)
+            return Value(ValueLocation.CONSTANT, reg.index, negate)
         if reg.file is RegisterFile.LITERAL:
-            return Value(ValueLocation.LITERAL, reg.index)
+            return Value(ValueLocation.LITERAL, reg.index, negate)
         info = defs.get(reg)
         if info is None:
             raise CompileError(f"use of undefined register {reg}")
@@ -142,16 +142,16 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
             and use.bundle == info.bundle + 1
         ):
             if info.slot == "t":
-                return Value(ValueLocation.PREVIOUS_SCALAR, 0)
+                return Value(ValueLocation.PREVIOUS_SCALAR, 0, negate)
             slot_index = "xyzw".index(info.slot)
-            return Value(ValueLocation.PREVIOUS_VECTOR, slot_index)
+            return Value(ValueLocation.PREVIOUS_VECTOR, slot_index, negate)
         kind = storage.get(reg)
         if kind is None:
             raise CompileError(
                 f"value {reg} has no storage but is used beyond PV range"
             )
         loc, index = kind
-        return Value(loc, index)
+        return Value(loc, index, negate)
 
     clauses: list[Clause] = []
     for c_index, clause in enumerate(proto):
@@ -179,6 +179,7 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
                         locate(
                             operand.register,
                             _UseInfo(0, c_index, b_index),
+                            operand.negate,
                         )
                         for operand in instr.sources
                     )
@@ -189,12 +190,16 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
             stores = []
             for store in clause.stores:
                 if isinstance(store, ExportInstruction):
-                    source = locate(store.source.register)
+                    source = locate(
+                        store.source.register, negate=store.source.negate
+                    )
                     stores.append(
                         StoreInstr(store.target, MemorySpace.COLOR_BUFFER, source)
                     )
                 else:
-                    source = locate(store.source.register)
+                    source = locate(
+                        store.source.register, negate=store.source.negate
+                    )
                     stores.append(
                         StoreInstr(store.offset, MemorySpace.GLOBAL, source)
                     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.il.instructions import ALUInstruction, Register, RegisterFile
+from repro.il.instructions import ALUInstruction, Register
 
 _GENERAL_SLOTS = ("x", "y", "z", "w")
 

@@ -25,7 +25,6 @@ from repro.il.instructions import (
     ILInstruction,
     Operand,
     Register,
-    RegisterFile,
     const,
     operand,
     position,

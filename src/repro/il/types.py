@@ -58,8 +58,11 @@ class ShaderMode(enum.Enum):
 
     @classmethod
     def from_name(cls, name: str) -> "ShaderMode":
+        normalized = name.strip().lower()
+        aliases = {"ps": "pixel", "cs": "compute"}
+        normalized = aliases.get(normalized, normalized)
         for member in cls:
-            if member.value == name.strip().lower():
+            if member.value == normalized:
                 return member
         raise ValueError(f"unknown shader mode {name!r}")
 

@@ -6,120 +6,40 @@ for no output") and every declared input must be sampled and *used*
 ("otherwise the compiler optimizes the input out of the code").  Rather than
 silently optimizing, validation rejects such kernels so the generators can
 never silently measure an empty program.
+
+The checks themselves live in :mod:`repro.verify.il_checks`, which
+collects *every* finding as :class:`repro.verify.Diagnostic` records;
+:func:`validate_kernel` keeps the historical raise-on-first-error
+contract on top of them.  Use :func:`check_kernel` (re-exported here)
+when you want the full picture instead of the first failure.
 """
 
 from __future__ import annotations
 
-from repro.il.instructions import (
-    ALUInstruction,
-    ExportInstruction,
-    GlobalLoadInstruction,
-    GlobalStoreInstruction,
-    Register,
-    RegisterFile,
-    SampleInstruction,
-)
 from repro.il.module import ILKernel
-from repro.il.types import MemorySpace, ShaderMode
 
 
 class ILValidationError(ValueError):
     """Raised when an IL kernel violates a structural or semantic rule."""
 
 
+def check_kernel(kernel: ILKernel):
+    """Collect-all validation: every finding as a ``Diagnostic`` list."""
+    # Imported lazily: repro.verify imports the compiler pipeline, which
+    # imports this module.
+    from repro.verify.il_checks import check_kernel as _check
+
+    return _check(kernel)
+
+
 def validate_kernel(kernel: ILKernel) -> None:
-    """Validate ``kernel``, raising :class:`ILValidationError` on failure."""
-    _check_outputs(kernel)
-    _check_mode(kernel)
-    _check_def_before_use(kernel)
-    _check_inputs_used(kernel)
-    _check_outputs_written(kernel)
+    """Validate ``kernel``, raising :class:`ILValidationError` on failure.
 
+    Raises on the first *error*-severity diagnostic; warnings (dead
+    writes, double-written outputs) pass — the optimizer handles those.
+    """
+    from repro.verify.diagnostics import errors
 
-def _check_outputs(kernel: ILKernel) -> None:
-    if not kernel.outputs:
-        raise ILValidationError(
-            f"kernel {kernel.name!r} has no outputs; the CAL compiler would "
-            "eliminate it entirely (paper §III)"
-        )
-    for decl in kernel.outputs:
-        if decl.space is MemorySpace.COLOR_BUFFER and kernel.mode is ShaderMode.COMPUTE:
-            raise ILValidationError(
-                f"kernel {kernel.name!r}: compute shader mode cannot write "
-                "color buffers (paper §III-C)"
-            )
-
-
-def _check_mode(kernel: ILKernel) -> None:
-    color_outputs = [
-        d for d in kernel.outputs if d.space is MemorySpace.COLOR_BUFFER
-    ]
-    if len(color_outputs) > 8:
-        raise ILValidationError(
-            f"kernel {kernel.name!r} declares {len(color_outputs)} color "
-            "buffers; the hardware supports at most 8 render targets"
-        )
-
-
-def _check_def_before_use(kernel: ILKernel) -> None:
-    defined: set[Register] = set()
-    for pos, instr in enumerate(kernel.body):
-        for reg in instr.used_registers():
-            if reg.file is RegisterFile.TEMP and reg not in defined:
-                raise ILValidationError(
-                    f"kernel {kernel.name!r}: instruction {pos} ({instr}) "
-                    f"reads {reg} before it is written"
-                )
-        defined.update(instr.defined_registers())
-
-
-def _check_inputs_used(kernel: ILKernel) -> None:
-    sampled: dict[int, Register] = {}
-    global_loaded: dict[int, Register] = {}
-    consumed: set[Register] = set()
-    for instr in kernel.body:
-        if isinstance(instr, SampleInstruction):
-            sampled[instr.resource] = instr.dest
-        elif isinstance(instr, GlobalLoadInstruction):
-            global_loaded[instr.offset] = instr.dest
-        elif isinstance(instr, (ALUInstruction, ExportInstruction, GlobalStoreInstruction)):
-            consumed.update(instr.used_registers())
-
-    for decl in kernel.inputs:
-        if decl.space is MemorySpace.TEXTURE:
-            reg = sampled.get(decl.index)
-            kind = "sampled"
-        else:
-            reg = global_loaded.get(decl.index)
-            kind = "loaded"
-        if reg is None:
-            raise ILValidationError(
-                f"kernel {kernel.name!r}: input {decl.index} is never {kind}; "
-                "the CAL compiler would optimize it out (paper §III)"
-            )
-        if reg not in consumed:
-            raise ILValidationError(
-                f"kernel {kernel.name!r}: input {decl.index} is {kind} into "
-                f"{reg} but the value is never used (paper §III)"
-            )
-
-
-def _check_outputs_written(kernel: ILKernel) -> None:
-    exported: set[int] = set()
-    stored_offsets: set[int] = set()
-    for instr in kernel.body:
-        if isinstance(instr, ExportInstruction):
-            exported.add(instr.target)
-        elif isinstance(instr, GlobalStoreInstruction):
-            stored_offsets.add(instr.offset)
-    for decl in kernel.outputs:
-        if decl.space is MemorySpace.COLOR_BUFFER and decl.index not in exported:
-            raise ILValidationError(
-                f"kernel {kernel.name!r}: color output {decl.index} is never "
-                "written"
-            )
-        if decl.space is MemorySpace.GLOBAL and decl.index not in stored_offsets:
-            raise ILValidationError(
-                f"kernel {kernel.name!r}: global output {decl.index} is never "
-                "written"
-            )
+    failures = errors(check_kernel(kernel))
+    if failures:
+        raise ILValidationError(failures[0].message)

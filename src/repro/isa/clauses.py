@@ -16,7 +16,7 @@ instruction may read a value produced inside its own bundle.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.il.opcodes import ILOp
 from repro.il.types import MemorySpace
@@ -48,15 +48,17 @@ class Value:
 
     location: ValueLocation
     index: int = 0
+    negate: bool = False  #: source modifier: read as the negated value
 
     def __str__(self) -> str:
+        sign = "-" if self.negate else ""
         if self.location is ValueLocation.PREVIOUS_VECTOR:
-            return f"PV.{_SLOT_LETTERS[self.index]}"
+            return f"{sign}PV.{_SLOT_LETTERS[self.index]}"
         if self.location is ValueLocation.PREVIOUS_SCALAR:
-            return "PS"
+            return f"{sign}PS"
         if self.location is ValueLocation.POSITION:
-            return "R0"
-        return f"{self.location.value}{self.index}"
+            return f"{sign}R0"
+        return f"{sign}{self.location.value}{self.index}"
 
 
 _SLOT_NAMES = ("x", "y", "z", "w", "t")

@@ -19,9 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import telemetry
-from repro.il.module import ILKernel
 from repro.il.opcodes import ILOp
-from repro.il.types import MemorySpace
 from repro.isa.clauses import (
     ALUClause,
     ExportClause,
@@ -131,6 +129,10 @@ def _execute_program(
     outputs: dict[int, np.ndarray] = {}
 
     def read(value: Value) -> np.ndarray:
+        arr = _read_raw(value)
+        return -arr if value.negate else arr
+
+    def _read_raw(value: Value) -> np.ndarray:
         if value.location is ValueLocation.GPR:
             try:
                 return gprs[value.index]

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.il.types import MemorySpace
-from repro.isa.clauses import ALUClause, ExportClause, TEXClause
 from repro.isa.program import ISAProgram
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.il.builder import ILBuilder
 from repro.il.module import ILKernel
-from repro.kernels.params import KernelParams, alu_ops_for_ratio
+from repro.kernels.params import KernelParams
 
 
 def plan_blocks(params: KernelParams) -> list[int]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.suite.results import ResultSet, Series
+from repro.suite.results import ResultSet
 
 #: symbols assigned to series, in order (the paper's figures hold up to 10).
 MARKERS = "ox+*#@%&^~"

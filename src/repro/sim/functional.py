@@ -24,7 +24,6 @@ from repro.il.instructions import (
 )
 from repro.il.module import ILKernel
 from repro.il.opcodes import ILOp
-from repro.il.types import DataType
 
 
 class ExecutionError(ValueError):

@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.specs import GPUSpec
-from repro.il.module import ILKernel
-from repro.il.types import MemorySpace
 from repro.isa.program import ISAProgram
 from repro.isa.stats import ISAStats, collect_stats
 from repro.sim.counters import Bound
@@ -29,20 +27,43 @@ class SKAReport:
     max_wavefronts: int | None
     #: the static bottleneck prediction.
     predicted_bound: Bound
+    #: verifier findings over the compiled program (empty when clean or
+    #: when ``analyze`` ran without ``verify=True``).
+    diagnostics: tuple = ()
+    #: whether the verifier ran (distinguishes "clean" from "not checked").
+    verified: bool = False
 
     @property
     def in_good_band(self) -> bool:
         """Does the ratio fall in SKA's 0.98-1.09 "good" band?"""
         return GOOD_RATIO_LOW <= self.alu_fetch_ratio <= GOOD_RATIO_HIGH
 
+    @property
+    def error_count(self) -> int:
+        from repro.verify.diagnostics import errors
 
-def analyze(program: ISAProgram, gpu: GPUSpec | None = None) -> SKAReport:
+        return len(errors(list(self.diagnostics)))
+
+    @property
+    def warning_count(self) -> int:
+        from repro.verify.diagnostics import warnings
+
+        return len(warnings(list(self.diagnostics)))
+
+
+def analyze(
+    program: ISAProgram, gpu: GPUSpec | None = None, verify: bool = False
+) -> SKAReport:
     """Statically analyze a compiled kernel.
 
     The bottleneck prediction is the naive static one the paper critiques:
     ratio below the good band -> fetch bound; above -> ALU bound; a store
     count rivaling the fetch count -> write bound.  The suite's dynamic
     measurements show where this static picture breaks down.
+
+    ``verify=True`` additionally runs the :mod:`repro.verify` ISA checks
+    and the differential lowering check over the program, folding every
+    finding into the report's ``diagnostics`` (without raising).
     """
     stats = collect_stats(program)
     ratio = stats.reported_alu_fetch_ratio
@@ -54,6 +75,15 @@ def analyze(program: ISAProgram, gpu: GPUSpec | None = None) -> SKAReport:
     else:
         predicted = Bound.FETCH
 
+    diagnostics: tuple = ()
+    if verify:
+        from repro.verify.differential import check_lowering
+        from repro.verify.isa_checks import check_program
+
+        found = check_program(program)
+        found.extend(check_lowering(program.kernel, program))
+        diagnostics = tuple(found)
+
     max_wavefronts = (
         gpu.max_wavefronts_for_gprs(stats.gpr_count) if gpu is not None else None
     )
@@ -63,4 +93,6 @@ def analyze(program: ISAProgram, gpu: GPUSpec | None = None) -> SKAReport:
         alu_fetch_ratio=ratio,
         max_wavefronts=max_wavefronts,
         predicted_bound=predicted,
+        diagnostics=diagnostics,
+        verified=verify,
     )

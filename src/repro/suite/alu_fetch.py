@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.arch.specs import GPUSpec
 from repro.il.module import ILKernel
-from repro.il.types import DataType, MemorySpace, ShaderMode
+from repro.il.types import MemorySpace, ShaderMode
 from repro.kernels import KernelParams, generate_generic
 from repro.sim.config import NAIVE_BLOCK
 from repro.suite.base import MicroBenchmark, SeriesSpec, standard_series

@@ -10,7 +10,7 @@ predates compute shader support — §IV), matching the figures' legends.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import telemetry
 from repro.arch.registry import all_gpus
@@ -115,7 +115,14 @@ class MicroBenchmark(abc.ABC):
                 "fast": fast,
             },
         )
-        with telemetry.span("figure", figure=self.name, fast=fast) as fig_span:
+        # Every figure kernel compiles under full verification: a
+        # miscompile (wrong GPR count, broken clause formation) would
+        # silently corrupt the measurement, so fail loudly instead.
+        from repro.verify import verification
+
+        with telemetry.span(
+            "figure", figure=self.name, fast=fast
+        ) as fig_span, verification(True):
             for spec in self.series_specs(gpus):
                 series = Series(label=spec.label)
                 device = Device(spec.gpu)

@@ -1,0 +1,80 @@
+"""Static analysis for the IL→ISA compiler: diagnostics, dataflow,
+clause-legality checks and differential pass validation.
+
+See docs/verify.md for the diagnostic code catalog and ``repro lint``
+for the CLI front end.
+"""
+
+from repro.verify.diagnostics import (
+    CODE_CATALOG,
+    Diagnostic,
+    Severity,
+    SourceLocation,
+    diag,
+    errors,
+    format_diagnostics,
+    warnings,
+)
+from repro.verify.dataflow import (
+    DefUseChains,
+    GPRInterval,
+    dead_instruction_indices,
+    def_use_chains,
+    gpr_live_intervals,
+    max_live_gprs,
+    recomputed_gpr_count,
+)
+from repro.verify.differential import (
+    DEFAULT_DOMAIN,
+    PassValidationError,
+    check_il_pass,
+    check_lowering,
+    run_verified_pass,
+    seeded_constants,
+    seeded_inputs,
+)
+from repro.verify.engine import (
+    LintReport,
+    VerificationError,
+    default_verify,
+    lint_kernel,
+    set_default_verify,
+    verification,
+    verify_compiled,
+)
+from repro.verify.il_checks import check_kernel
+from repro.verify.isa_checks import check_program
+
+__all__ = [
+    "CODE_CATALOG",
+    "DEFAULT_DOMAIN",
+    "DefUseChains",
+    "Diagnostic",
+    "GPRInterval",
+    "LintReport",
+    "PassValidationError",
+    "Severity",
+    "SourceLocation",
+    "VerificationError",
+    "check_il_pass",
+    "check_kernel",
+    "check_lowering",
+    "check_program",
+    "dead_instruction_indices",
+    "def_use_chains",
+    "default_verify",
+    "diag",
+    "errors",
+    "format_diagnostics",
+    "gpr_live_intervals",
+    "lint_kernel",
+    "max_live_gprs",
+    "recomputed_gpr_count",
+    "run_verified_pass",
+    "seeded_constants",
+    "seeded_inputs",
+    "set_default_verify",
+    "verification",
+    "verify_compiled",
+    "warnings",
+]

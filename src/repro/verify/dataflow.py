@@ -1,0 +1,212 @@
+"""Dataflow analyses over IL kernels and lowered ISA programs.
+
+Three independent recomputations back the verifier's checks:
+
+* **IL def-use chains** — which instruction defines each virtual
+  register and which instructions read it (straight-line programs, so a
+  single forward pass suffices).
+* **IL backward liveness** — which instructions can reach an output;
+  everything else is a dead write the CAL compiler would delete (§III).
+* **ISA GPR live intervals** — per *physical* register intervals over
+  the linearized clause stream.  The maximum number of simultaneously
+  live intervals, plus the reserved position register ``R0``, is what
+  the paper reports as "GPRs used"; :func:`recomputed_gpr_count` derives
+  it without consulting the register allocator, so the verifier can
+  cross-check ``regalloc``'s ``gpr_count`` (the number behind the
+  paper's wavefront-residency results, Figs. 16-17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.il.instructions import (
+    ExportInstruction,
+    GlobalStoreInstruction,
+    Register,
+    RegisterFile,
+)
+from repro.il.module import ILKernel
+from repro.isa.clauses import (
+    ALUClause,
+    ExportClause,
+    TEXClause,
+    Value,
+    ValueLocation,
+)
+from repro.isa.program import ISAProgram
+
+
+# ---- IL level --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DefUseChains:
+    """Definition and use sites of every virtual register in a kernel."""
+
+    #: register -> body indices that write it (normally one: SSA-style).
+    defs: dict[Register, list[int]]
+    #: register -> body indices that read it.
+    uses: dict[Register, list[int]]
+
+    def unused_defs(self) -> list[tuple[int, Register]]:
+        """Definitions whose register is never read afterwards."""
+        dead: list[tuple[int, Register]] = []
+        for reg, positions in self.defs.items():
+            reads = self.uses.get(reg, [])
+            for pos in positions:
+                later = [
+                    d for d in positions if d > pos
+                ]  # next redefinition, if any
+                horizon = min(later) if later else None
+                alive = any(
+                    r > pos and (horizon is None or r <= horizon)
+                    for r in reads
+                )
+                if not alive:
+                    dead.append((pos, reg))
+        return dead
+
+
+def def_use_chains(kernel: ILKernel) -> DefUseChains:
+    """Collect def/use sites of the kernel's virtual temporaries."""
+    defs: dict[Register, list[int]] = {}
+    uses: dict[Register, list[int]] = {}
+    for pos, instr in enumerate(kernel.body):
+        for reg in instr.used_registers():
+            if reg.file is RegisterFile.TEMP:
+                uses.setdefault(reg, []).append(pos)
+        for reg in instr.defined_registers():
+            if reg.file is RegisterFile.TEMP:
+                defs.setdefault(reg, []).append(pos)
+    return DefUseChains(defs, uses)
+
+
+def dead_instruction_indices(kernel: ILKernel) -> list[int]:
+    """Body indices whose results never reach a store or export.
+
+    The backward-liveness recomputation is intentionally independent of
+    :func:`repro.compiler.optimize.eliminate_dead_code` so the verifier
+    can cross-check the optimizer rather than trust it.
+    """
+    live: set[Register] = set()
+    keep = [False] * len(kernel.body)
+    for index in range(len(kernel.body) - 1, -1, -1):
+        instr = kernel.body[index]
+        if isinstance(instr, (ExportInstruction, GlobalStoreInstruction)):
+            keep[index] = True
+        else:
+            keep[index] = any(d in live for d in instr.defined_registers())
+        if keep[index]:
+            for d in instr.defined_registers():
+                live.discard(d)
+            for u in instr.used_registers():
+                if u.file is RegisterFile.TEMP:
+                    live.add(u)
+    return [i for i, flag in enumerate(keep) if not flag]
+
+
+# ---- ISA level -------------------------------------------------------------
+
+@dataclass
+class GPRInterval:
+    """One live range of a physical GPR over the linearized program."""
+
+    index: int  #: GPR number
+    start: int  #: linear position of the write that opens the range
+    end: int  #: linear position of the last read (== start if never read)
+    reads: int = 0  #: how many reads the range received
+
+    @property
+    def dead(self) -> bool:
+        return self.reads == 0
+
+
+@dataclass
+class _LinearWalk:
+    """Accumulates intervals while walking the clause stream."""
+
+    open: dict[int, GPRInterval] = field(default_factory=dict)
+    closed: list[GPRInterval] = field(default_factory=list)
+    pos: int = 0
+
+    def read(self, index: int) -> None:
+        interval = self.open.get(index)
+        if interval is not None:
+            interval.end = self.pos
+            interval.reads += 1
+
+    def write(self, index: int) -> None:
+        previous = self.open.pop(index, None)
+        if previous is not None:
+            self.closed.append(previous)
+        self.open[index] = GPRInterval(index, self.pos, self.pos)
+
+    def finish(self) -> list[GPRInterval]:
+        self.closed.extend(self.open.values())
+        self.open.clear()
+        return self.closed
+
+
+def _gpr_reads(values: tuple[Value, ...]) -> list[int]:
+    return [v.index for v in values if v.location is ValueLocation.GPR]
+
+
+def gpr_live_intervals(program: ISAProgram) -> list[GPRInterval]:
+    """Live intervals of every physical GPR, in linear program order.
+
+    Positions advance exactly as the register allocator counts them: one
+    per fetch, one per VLIW bundle, one per store.  Reads within a
+    bundle attach to the *pre-bundle* interval (co-issue semantics), so
+    a same-position read+write yields two intervals overlapping at that
+    point — matching the allocator's closed-interval release rule.
+    """
+    walk = _LinearWalk()
+    for clause in program.clauses:
+        if isinstance(clause, TEXClause):
+            for fetch in clause.fetches:
+                if fetch.dest.location is ValueLocation.GPR:
+                    walk.write(fetch.dest.index)
+                walk.pos += 1
+        elif isinstance(clause, ALUClause):
+            for bundle in clause.bundles:
+                writes = []
+                for op in bundle.ops:
+                    for index in _gpr_reads(op.sources):
+                        walk.read(index)
+                    if (
+                        op.dest is not None
+                        and op.dest.location is ValueLocation.GPR
+                    ):
+                        writes.append(op.dest.index)
+                for index in writes:
+                    walk.write(index)
+                walk.pos += 1
+        elif isinstance(clause, ExportClause):
+            for store in clause.stores:
+                for index in _gpr_reads((store.source,)):
+                    walk.read(index)
+                walk.pos += 1
+    return walk.finish()
+
+
+def max_live_gprs(program: ISAProgram) -> int:
+    """Maximum number of simultaneously live GPR values (excluding R0)."""
+    intervals = [i for i in gpr_live_intervals(program) if i.index != 0]
+    best = 0
+    for interval in intervals:
+        overlap = sum(
+            1
+            for other in intervals
+            if other.start <= interval.start <= other.end
+        )
+        best = max(best, overlap)
+    return best
+
+
+def recomputed_gpr_count(program: ISAProgram) -> int:
+    """Independent "GPRs used" count: max-live values + the reserved R0.
+
+    A program using no GPRs at all still occupies one (R0, the
+    pre-loaded position/thread id) — matching ``regalloc``'s floor.
+    """
+    return max_live_gprs(program) + 1

@@ -1,0 +1,192 @@
+"""Differential pass validation: prove compiler passes preserve meaning.
+
+Static checks catch structurally illegal programs; this module catches
+the subtler failure — a pass that produces a *legal* program computing
+the wrong thing.  Each compiler pass (DCE today; any future rewrite) is
+bracketed: re-run the IL-level checks on its output (a pass must not
+break validity) and functionally execute the kernel before and after on
+deterministic pseudo-random inputs, requiring identical results.  The
+final lowering is validated the same way by comparing the IL executor
+(:mod:`repro.sim.functional`) against the ISA interpreter
+(:mod:`repro.isa.interp`) — both use the same float32 NumPy operations
+in the same order, so "preserved semantics" means *bitwise* equality,
+including the overflow-to-infinity behaviour of long add chains.
+
+Inputs are seeded from the kernel name (crc32), so reruns and CI are
+reproducible and failures replayable.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.compiler.errors import CompileError
+from repro.il.module import ILKernel
+from repro.isa.program import ISAProgram
+from repro.verify.diagnostics import Diagnostic, diag
+
+#: small but non-trivial domain: enough threads to exercise the
+#: position register and per-thread data without slowing the suite.
+DEFAULT_DOMAIN: tuple[int, int] = (4, 4)
+
+
+class PassValidationError(CompileError):
+    """A compiler pass changed the meaning of a kernel."""
+
+
+def seeded_inputs(
+    kernel: ILKernel, domain: tuple[int, int] = DEFAULT_DOMAIN
+) -> dict[int, np.ndarray]:
+    """Deterministic pseudo-random input arrays for ``kernel``.
+
+    Values are drawn from ``[0.25, 1.75)`` — away from zero so RCP/LOG
+    stay finite and multiplicative chains do not collapse to 0.
+    """
+    width, height = domain
+    rng = np.random.default_rng(zlib.crc32(kernel.name.encode()))
+    shape = (height, width, kernel.dtype.components)
+    return {
+        decl.index: rng.uniform(0.25, 1.75, size=shape).astype(np.float32)
+        for decl in kernel.inputs
+    }
+
+
+def seeded_constants(
+    kernel: ILKernel,
+) -> dict[int, float]:
+    """Deterministic constant-buffer values for ``kernel``."""
+    rng = np.random.default_rng(zlib.crc32(kernel.name.encode()) ^ 0xC0FFEE)
+    return {
+        decl.index: float(rng.uniform(0.25, 1.75))
+        for decl in kernel.constants
+    }
+
+
+def _outputs_equal(
+    a: dict[int, np.ndarray], b: dict[int, np.ndarray]
+) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(
+        np.array_equal(a[key], b[key], equal_nan=True) for key in a
+    )
+
+
+def check_il_pass(
+    before: ILKernel,
+    after: ILKernel,
+    pass_name: str,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+) -> list[Diagnostic]:
+    """Validate one IL→IL pass: output stays valid, semantics unchanged."""
+    from repro.sim.functional import ExecutionError, execute_kernel
+    from repro.verify.il_checks import check_kernel
+    from repro.verify.diagnostics import errors
+
+    diags: list[Diagnostic] = []
+    broken = errors(check_kernel(after))
+    if broken:
+        diags.append(
+            diag(
+                "V202",
+                f"pass {pass_name!r} broke kernel {before.name!r}: "
+                + "; ".join(d.message for d in broken),
+                pass_name=pass_name,
+            )
+        )
+        return diags  # don't try to execute an invalid kernel
+
+    inputs = seeded_inputs(before, domain)
+    constants = seeded_constants(before)
+    try:
+        out_before = execute_kernel(before, inputs, domain, constants)
+        out_after = execute_kernel(after, inputs, domain, constants)
+    except ExecutionError as exc:
+        diags.append(
+            diag(
+                "V201",
+                f"pass {pass_name!r} left kernel {before.name!r} "
+                f"unexecutable: {exc}",
+                pass_name=pass_name,
+            )
+        )
+        return diags
+    if not _outputs_equal(out_before, out_after):
+        diags.append(
+            diag(
+                "V201",
+                f"pass {pass_name!r} changed the output of kernel "
+                f"{before.name!r} on seeded inputs (domain "
+                f"{domain[0]}x{domain[1]})",
+                pass_name=pass_name,
+            )
+        )
+    return diags
+
+
+def check_lowering(
+    kernel: ILKernel,
+    program: ISAProgram,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+) -> list[Diagnostic]:
+    """Validate the full IL→ISA lowering by differential execution."""
+    from repro.isa.interp import ISAExecutionError, execute_program
+    from repro.sim.functional import ExecutionError, execute_kernel
+
+    inputs = seeded_inputs(kernel, domain)
+    constants = seeded_constants(kernel)
+    try:
+        il_out = execute_kernel(kernel, inputs, domain, constants)
+        isa_out = execute_program(program, inputs, domain, constants)
+    except (ExecutionError, ISAExecutionError) as exc:
+        return [
+            diag(
+                "V203",
+                f"kernel {kernel.name!r} failed differential execution: "
+                f"{exc}",
+            )
+        ]
+    if not _outputs_equal(il_out, isa_out):
+        mismatched = sorted(
+            key
+            for key in il_out.keys() | isa_out.keys()
+            if key not in il_out
+            or key not in isa_out
+            or not np.array_equal(
+                il_out[key], isa_out[key], equal_nan=True
+            )
+        )
+        return [
+            diag(
+                "V203",
+                f"lowering changed the output of kernel {kernel.name!r}: "
+                f"output(s) {mismatched} differ between the IL executor "
+                "and the ISA interpreter on seeded inputs",
+                outputs=mismatched,
+            )
+        ]
+    return []
+
+
+def run_verified_pass(
+    kernel: ILKernel,
+    pass_fn,
+    pass_name: str,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+) -> ILKernel:
+    """Apply ``pass_fn`` and raise :class:`PassValidationError` on drift.
+
+    ``pass_fn`` takes a kernel and returns a kernel (or a
+    ``(kernel, extra)`` tuple, as ``eliminate_dead_code`` does).
+    """
+    result = pass_fn(kernel)
+    after = result[0] if isinstance(result, tuple) else result
+    diags = check_il_pass(kernel, after, pass_name, domain)
+    if diags:
+        raise PassValidationError(
+            f"differential validation of pass {pass_name!r} failed:\n"
+            + "\n".join(f"  {d}" for d in diags)
+        )
+    return after

@@ -10,11 +10,16 @@ from __future__ import annotations
 import pytest
 
 from repro.arch import RV670, RV770, RV870, all_gpus
-from repro.il.types import DataType, ShaderMode
 from repro.kernels import KernelParams, generate_generic
 from repro.compiler import compile_kernel
 from repro.sim import LaunchConfig, SimConfig
 from repro.suite import run_suite
+from repro.verify import set_default_verify
+
+# The whole test suite compiles under full verification (differential
+# pass validation + ISA legality checks); a miscompile anywhere fails
+# loudly instead of silently skewing figure numbers.
+set_default_verify(True)
 
 
 @pytest.fixture(scope="session")

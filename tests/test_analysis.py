@@ -17,7 +17,7 @@ from repro.arch import RV770, RV870
 from repro.compiler import compile_kernel
 from repro.il.types import DataType
 from repro.kernels import KernelParams, generate_generic
-from repro.sim import LaunchConfig, SimConfig, simulate_launch
+from repro.sim import LaunchConfig, simulate_launch
 from repro.sim.counters import Bound
 from repro.suite.results import Series, SeriesPoint
 

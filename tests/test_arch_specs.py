@@ -1,6 +1,5 @@
 """Unit tests for repro.arch.specs."""
 
-import math
 
 import pytest
 

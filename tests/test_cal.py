@@ -6,7 +6,6 @@ import pytest
 from repro.arch import RV670, RV770
 from repro.cal import (
     BindingError,
-    Context,
     Device,
     OutOfMemoryError,
     UnsupportedError,

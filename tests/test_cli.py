@@ -66,6 +66,91 @@ class TestKernelCommands:
         assert "ALU:Fetch ratio:      1.00" in out
         assert "good band" in out
 
+    def test_lint_clean_kernel(self, capsys):
+        assert main(["lint", "--inputs", "4", "--ratio", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "clean (0 diagnostics)" in out
+        assert "compiled:" in out
+
+    def test_lint_mode_aliases(self, capsys):
+        assert (
+            main(["lint", "--inputs", "4", "--mode", "cs", "--global-outputs"])
+            == 0
+        )
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "--inputs", "4", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["clean"] is True
+        assert record["diagnostics"] == []
+        assert record["program"]["gpr_count"] >= 1
+
+    def test_lint_bad_il_exits_nonzero(self, tmp_path, capsys):
+        from repro.il import emit_il
+        from repro.il.instructions import Operand, position, SampleInstruction, temp
+        from repro.il.module import ILKernel, InputDecl, OutputDecl
+        from repro.il.types import DataType, MemorySpace, ShaderMode
+
+        # Declares an output it never writes and an input it never uses.
+        bad = ILKernel(
+            name="bad",
+            mode=ShaderMode.PIXEL,
+            dtype=DataType.FLOAT,
+            inputs=(InputDecl(0, MemorySpace.TEXTURE, DataType.FLOAT),),
+            outputs=(OutputDecl(0, MemorySpace.COLOR_BUFFER, DataType.FLOAT),),
+            body=(SampleInstruction(temp(0), 0, Operand(position())),),
+        )
+        path = tmp_path / "bad.il"
+        path.write_text(emit_il(bad))
+        assert main(["lint", "--il", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "V006" in out or "V007" in out
+        assert "error(s)" in out
+
+    def test_lint_strict_promotes_warnings(self, tmp_path, capsys):
+        from repro.il import emit_il
+        from repro.il.instructions import (
+            ALUInstruction,
+            ExportInstruction,
+            Operand,
+            SampleInstruction,
+            position,
+            temp,
+        )
+        from repro.il.module import ILKernel, InputDecl, OutputDecl
+        from repro.il.opcodes import ILOp
+        from repro.il.types import DataType, MemorySpace, ShaderMode
+
+        # Valid kernel plus one dead ALU write (warning V008, no errors).
+        warn = ILKernel(
+            name="warn",
+            mode=ShaderMode.PIXEL,
+            dtype=DataType.FLOAT,
+            inputs=(InputDecl(0, MemorySpace.TEXTURE, DataType.FLOAT),),
+            outputs=(OutputDecl(0, MemorySpace.COLOR_BUFFER, DataType.FLOAT),),
+            body=(
+                SampleInstruction(temp(0), 0, Operand(position())),
+                ALUInstruction(
+                    ILOp.ADD, temp(1), (Operand(temp(0)), Operand(temp(0)))
+                ),
+                ALUInstruction(
+                    ILOp.ADD, temp(2), (Operand(temp(1)), Operand(temp(1)))
+                ),
+                ExportInstruction(0, Operand(temp(1))),
+            ),
+        )
+        path = tmp_path / "warn.il"
+        path.write_text(emit_il(warn))
+        assert main(["lint", "--il", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--il", str(path), "--strict"]) == 1
+        assert "V008" in capsys.readouterr().out
+
+    def test_ska_reports_verifier_clean(self, capsys):
+        assert main(["ska", "--inputs", "4"]) == 0
+        assert "Verifier:             clean" in capsys.readouterr().out
+
     def test_time_reports_bound(self, capsys):
         assert (
             main(

@@ -4,10 +4,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch import RV770
-from repro.compiler import CompileError, CompileOptions, compile_kernel
+from repro.compiler import CompileOptions, compile_kernel
 from repro.compiler.optimize import count_dead_instructions, eliminate_dead_code
 from repro.compiler.vliw import pack_bundles, packing_density
-from repro.il import DataType, ILBuilder, MemorySpace, ShaderMode
+from repro.il import DataType, ILBuilder, ShaderMode
 from repro.il.instructions import ALUInstruction, operand, temp
 from repro.il.opcodes import ILOp
 from repro.isa import ALUClause, ExportClause, TEXClause, ValueLocation

@@ -9,7 +9,7 @@ the *shape* claims the paper states in §IV.
 
 import pytest
 
-from repro.analysis import find_knee, linear_fit, slope_ratio
+from repro.analysis import find_knee, slope_ratio
 from repro.reporting import check_expectations
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import RV770
-from repro.il.types import DataType, ShaderMode
+from repro.il.types import DataType
 from repro.suite import alu_fetch_grid, knees_by_input
 
 RATIOS = tuple(0.25 * k for k in range(1, 25))

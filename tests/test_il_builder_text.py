@@ -11,7 +11,6 @@ from repro.il import (
     ShaderMode,
     emit_il,
     parse_il,
-    validate_kernel,
 )
 from repro.il.parser import ILParseError
 from repro.kernels import KernelParams, generate_generic

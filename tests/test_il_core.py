@@ -11,13 +11,11 @@ from repro.il import (
     ILOp,
     MemorySpace,
     Operand,
-    Register,
-    RegisterFile,
     SampleInstruction,
     ShaderMode,
 )
 from repro.il.instructions import const, operand, position, temp
-from repro.il.module import ConstantDecl, ILKernel, InputDecl, OutputDecl
+from repro.il.module import ILKernel, InputDecl, OutputDecl
 
 
 class TestDataType:

@@ -7,9 +7,8 @@ from repro.apps import MergeError, merge_kernels, predict_merge
 from repro.apps.montecarlo import montecarlo_kernel
 from repro.arch import RV770
 from repro.compiler import compile_kernel
-from repro.il import DataType, MemorySpace, ShaderMode
+from repro.il import DataType, ShaderMode
 from repro.kernels import KernelParams, generate_generic
-from repro.sim.config import LaunchConfig
 from repro.sim.counters import Bound
 from repro.sim.functional import execute_kernel
 

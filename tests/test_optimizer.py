@@ -11,7 +11,6 @@ from repro.analysis import (
 from repro.arch import RV770, RV870
 from repro.il.types import DataType, ShaderMode
 from repro.kernels import KernelParams, generate_generic
-from repro.sim.counters import Bound
 
 
 class TestTuneBlockSize:

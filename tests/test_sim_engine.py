@@ -5,14 +5,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.arch import RV670, RV770, RV870
 from repro.compiler import compile_kernel
-from repro.il.types import DataType, ShaderMode
+from repro.il.types import ShaderMode
 from repro.kernels import KernelParams, generate_generic
 from repro.sim import Counters, LaunchConfig, Resource, SimConfig, simulate_launch
-from repro.sim.counters import Bound, SATURATION_THRESHOLD
+from repro.sim.counters import Bound
 from repro.sim.engine import SimulationError
 from repro.sim.scheduler import resident_wavefronts
 from repro.sim.simd import simulate_simd
-from repro.sim.wavefront import ClauseCost, WavefrontProgram, build_wavefront_program
+from repro.sim.wavefront import ClauseCost, WavefrontProgram
 
 
 def program_of(*clauses: ClauseCost) -> WavefrontProgram:

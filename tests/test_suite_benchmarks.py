@@ -6,7 +6,7 @@ live in test_figures_shape.py against the session-scoped suite results.
 
 import pytest
 
-from repro.arch import RV670, RV770, all_gpus
+from repro.arch import RV770, all_gpus
 from repro.il.types import DataType, MemorySpace, ShaderMode
 from repro.sim.config import PAPER_ITERATIONS
 from repro.suite import (

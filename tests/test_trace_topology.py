@@ -8,7 +8,6 @@ from repro.kernels import KernelParams, generate_generic
 from repro.sim import (
     LaunchConfig,
     Resource,
-    SimConfig,
     render_gantt,
     simulate_launch,
     trace_launch,

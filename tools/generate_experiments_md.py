@@ -17,9 +17,12 @@ import time
 from pathlib import Path
 
 from repro.analysis import find_knee
+from repro.arch import all_gpus
 from repro.reporting import ascii_chart, check_expectations
 from repro.reporting.tables import render_table
-from repro.suite import BENCHMARKS, run_suite
+from repro.suite import run_suite
+from repro.suite.runner import BENCHMARKS
+from repro.verify import lint_kernel
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -94,6 +97,36 @@ FIGURE_NOTES = {
 }
 
 KNEE_FIGURES = ("fig7", "fig8", "fig9", "fig10")
+
+
+def verifier_record(name: str) -> str:
+    """Lint every kernel of one figure and summarize the verifier's verdict.
+
+    The suite run itself compiles every kernel under full verification
+    (any error would have aborted it); this pass re-runs the collect-all
+    linter — IL dataflow, ISA clause legality, differential lowering
+    check — over the figure's kernel family (fast sweep, every series)
+    so EXPERIMENTS.md carries an explicit per-figure record.
+    """
+    bench = BENCHMARKS[name]()
+    kernels = error_count = warning_count = 0
+    for spec in bench.series_specs(all_gpus()):
+        for value in bench.sweep_values(fast=True):
+            report = lint_kernel(bench.build_kernel(value, spec), gpu=spec.gpu)
+            kernels += 1
+            error_count += report.error_count
+            warning_count += report.warning_count
+    if error_count or warning_count:
+        return (
+            f"Verifier: **{error_count} error(s), {warning_count} "
+            f"warning(s)** across {kernels} kernels — run `repro lint` "
+            "on the failing configuration for details."
+        )
+    return (
+        f"Verifier: clean — all {kernels} kernels of this figure pass IL "
+        "dataflow, ISA clause-legality and differential lowering checks "
+        "(`repro lint`, see docs/verify.md)."
+    )
 
 
 def knee_table(result) -> str:
@@ -219,6 +252,8 @@ def main(argv=None) -> int:
                 manifest_rel = manifest_rel.relative_to(REPO)
             lines.append(f"Telemetry manifest: `{manifest_rel}`")
             lines.append("")
+        lines.append(verifier_record(name))
+        lines.append("")
         if name in KNEE_FIGURES:
             lines.append(knee_table(result))
         else:
