@@ -12,19 +12,26 @@ Commands:
 * ``advise`` — time a kernel and print the optimization directions.
 * ``figure`` — regenerate one of the paper's figures.
 * ``suite`` — run several figures and print the paper-claim checklist.
+* ``grid`` — the (inputs x ratio) knee-invariance grid on one chip.
+* ``cache`` — inspect or clean the job result cache (stats/gc/clear).
 * ``stats`` — summarize a telemetry manifest (JSONL) as tables.
 * ``profile`` — per-stage time attribution for one kernel run.
 
 ``figure``, ``suite``, ``time`` and ``advise`` accept ``--telemetry
 FILE`` to record the run — spans, metrics, config hash, git SHA — as a
 JSONL manifest (see docs/telemetry.md).
+
+``figure``, ``suite`` and ``grid`` accept ``--jobs N`` (parallel
+workers), ``--cache`` (content-addressed result reuse under
+``results/cache/``) and ``--resume`` (continue an interrupted run from
+its ledger) — see docs/jobs.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
 from repro import telemetry
@@ -127,6 +134,76 @@ def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
+    jobs = parser.add_argument_group("execution engine (docs/jobs.md)")
+    jobs.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes (0/1 = serial, the deterministic default)",
+    )
+    jobs.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse simulated results via the content-addressed cache",
+    )
+    jobs.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache root (implies --cache; default results/cache)",
+    )
+    jobs.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from its ledger",
+    )
+    jobs.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit timeout when running with --jobs",
+    )
+
+
+def _engine_from_args(args: argparse.Namespace):
+    """A JobEngine when any engine flag is set, else None (legacy path)."""
+    from repro.jobs import DEFAULT_CACHE_DIR, JobEngine, JobOptions
+
+    wants_cache = args.cache or args.cache_dir is not None
+    if not (args.jobs > 1 or wants_cache or args.resume):
+        return None
+    cache_dir = None
+    if wants_cache:
+        cache_dir = args.cache_dir if args.cache_dir else DEFAULT_CACHE_DIR
+    return JobEngine(
+        JobOptions(
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            resume=args.resume,
+            timeout=args.unit_timeout,
+        )
+    )
+
+
+@contextmanager
+def _engine_scope(args: argparse.Namespace):
+    """Build the engine (or None) and close it with the right outcome:
+    a clean exit drops the run ledger, an exception preserves it so the
+    next ``--resume`` picks up where this run died."""
+    engine = _engine_from_args(args)
+    try:
+        yield engine
+    except BaseException:
+        if engine is not None:
+            engine.close(success=False)
+        raise
+    if engine is not None:
+        engine.close(success=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.split("\n")[0]
@@ -190,16 +267,73 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("id", choices=sorted(BENCHMARKS))
-    p.add_argument("--full", action="store_true")
+    speed = p.add_mutually_exclusive_group()
+    speed.add_argument("--full", action="store_true")
+    speed.add_argument(
+        "--fast",
+        action="store_true",
+        help="subsampled sweeps (the default; explicit for scripts)",
+    )
     p.add_argument("--chart", action="store_true")
     p.add_argument("--save", metavar="DIR")
     _add_telemetry_argument(p)
+    _add_jobs_arguments(p)
 
     p = sub.add_parser("suite", help="run figures and check paper claims")
     p.add_argument("--figures", nargs="*", default=None)
-    p.add_argument("--full", action="store_true")
+    speed = p.add_mutually_exclusive_group()
+    speed.add_argument("--full", action="store_true")
+    speed.add_argument(
+        "--fast",
+        action="store_true",
+        help="subsampled sweeps (the default; explicit for scripts)",
+    )
     p.add_argument("--out", metavar="DIR")
     _add_telemetry_argument(p)
+    _add_jobs_arguments(p)
+
+    p = sub.add_parser(
+        "grid", help="(inputs x ratio) knee-invariance grid on one chip"
+    )
+    p.add_argument("--gpu", default="4870", help="chip or card name")
+    p.add_argument(
+        "--inputs", type=int, nargs="+", default=[4, 8, 16, 32]
+    )
+    p.add_argument(
+        "--ratio-max", type=float, default=8.0, help="sweep 0.25..MAX"
+    )
+    p.add_argument(
+        "--ratio-step", type=float, default=0.25, help="sweep increment"
+    )
+    p.add_argument(
+        "--dtype", choices=[d.value for d in DataType], default="float"
+    )
+    p.add_argument(
+        "--mode",
+        choices=[m.value for m in ShaderMode] + ["ps", "cs"],
+        default="pixel",
+    )
+    p.add_argument(
+        "--domain", type=int, nargs=2, default=(1024, 1024), metavar=("W", "H")
+    )
+    p.add_argument("--iterations", type=int, default=5000)
+    p.add_argument("--csv", metavar="FILE", help="also save the grid CSV")
+    _add_telemetry_argument(p)
+    _add_jobs_arguments(p)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clean the job result cache"
+    )
+    p.add_argument("action", choices=("stats", "gc", "clear"))
+    p.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="cache root (default results/cache)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable stats"
+    )
 
     p = sub.add_parser(
         "stats", help="summarize a telemetry manifest (JSONL)"
@@ -331,7 +465,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "figure":
-        result = run_benchmark(args.id, fast=not args.full)
+        with _engine_scope(args) as engine:
+            result = run_benchmark(args.id, fast=not args.full, engine=engine)
         if args.telemetry:
             result.manifest = args.telemetry
         print(result.format_table())
@@ -349,7 +484,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         # The run is already being recorded at main() level when
         # --telemetry is set, so only stamp + save here (run_suite's own
         # telemetry_out would open a second, nested recording).
-        results = run_suite(figures=args.figures, fast=not args.full)
+        with _engine_scope(args) as engine:
+            results = run_suite(
+                figures=args.figures, fast=not args.full, engine=engine
+            )
         for result in results.values():
             if args.telemetry:
                 result.manifest = args.telemetry
@@ -358,6 +496,59 @@ def _dispatch(args: argparse.Namespace) -> int:
                 directory.mkdir(parents=True, exist_ok=True)
                 result.save(directory / f"{result.name}.json")
         print(experiment_report(results, markdown=False))
+        return 0
+
+    if args.command == "grid":
+        from repro.suite import alu_fetch_grid, knees_by_input
+
+        steps = int(round(args.ratio_max / args.ratio_step))
+        ratios = tuple(
+            round(args.ratio_step * k, 10) for k in range(1, steps + 1)
+        )
+        with _engine_scope(args) as engine:
+            grid = alu_fetch_grid(
+                open_device(args.gpu).spec,
+                inputs=tuple(args.inputs),
+                ratios=ratios,
+                dtype=DataType.from_name(args.dtype),
+                mode=ShaderMode.from_name(args.mode),
+                domain=tuple(args.domain),
+                iterations=args.iterations,
+                engine=engine,
+            )
+        print(grid.to_csv(), end="")
+        knees = knees_by_input(grid)
+        print()
+        for n, knee in sorted(knees.items()):
+            label = f"{knee:g}" if knee is not None else "none"
+            print(f"knee @ {n} inputs: {label}")
+        if args.csv:
+            Path(args.csv).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.csv).write_text(grid.to_csv())
+        return 0
+
+    if args.command == "cache":
+        import json as _json
+
+        from repro.jobs import DEFAULT_CACHE_DIR, ResultCache
+
+        cache = ResultCache(args.dir if args.dir else DEFAULT_CACHE_DIR)
+        if args.action == "stats":
+            stats = cache.stats()
+            if args.json:
+                print(_json.dumps(stats.to_json(), indent=2))
+            else:
+                print(f"cache root: {cache.root}")
+                print(
+                    f"entries: {stats.entries}  "
+                    f"({stats.bytes / 1024:.1f} KiB, {stats.stale} stale)"
+                )
+                for figure, count in sorted(stats.by_figure.items()):
+                    print(f"  {figure}: {count}")
+        elif args.action == "gc":
+            print(f"removed {cache.gc()} stale entries from {cache.root}")
+        else:
+            print(f"removed {cache.clear()} entries from {cache.root}")
         return 0
 
     if args.command == "stats":

@@ -9,6 +9,7 @@ onto the finite general-purpose register file, clause temporaries and the
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 
 from repro.il.opcodes import ILOp
@@ -24,6 +25,15 @@ class RegisterFile(enum.Enum):
     OUTPUT = "o"  #: pixel-shader output (color buffer)
 
 
+# Registers are dict/set keys on every verifier and compiler hot path,
+# and their rendered names appear once per instruction in emitted IL.
+# Enum attribute access goes through Python-level descriptors, so each
+# member gets a plain-int ordinal and a precomputed name prefix here.
+for _ordinal, _member in enumerate(RegisterFile):
+    _member._code = _ordinal
+    _member._prefix = _member.value
+
+
 @dataclass(frozen=True)
 class Register:
     """A register reference such as ``r12`` or ``cb0[3]``."""
@@ -31,12 +41,20 @@ class Register:
     file: RegisterFile
     index: int
 
+    def __hash__(self) -> int:
+        # Process-independent (no str/id hashing): safe to pickle
+        # alongside cached state, and a perfect hash for small indices.
+        return self.index * 8 + self.file._code
+
     def __str__(self) -> str:
-        if self.file is RegisterFile.CONST:
-            return f"cb0[{self.index}]"
-        if self.file is RegisterFile.POSITION:
-            return f"v{self.index}"
-        return f"{self.file.value}{self.index}"
+        text = self.__dict__.get("_str")
+        if text is None:
+            if self.file is RegisterFile.CONST:
+                text = f"cb0[{self.index}]"
+            else:
+                text = f"{self.file._prefix}{self.index}"
+            object.__setattr__(self, "_str", text)
+        return text
 
 
 @dataclass(frozen=True)
@@ -52,7 +70,15 @@ class Operand:
 
 
 def _as_operand(value: "Operand | Register") -> Operand:
-    return value if isinstance(value, Operand) else Operand(value)
+    if type(value) is Operand:
+        return value
+    # Memoize the plain (non-negated) wrapper on the register itself:
+    # builders coerce the same interned registers over and over.
+    op = value.__dict__.get("_as_op")
+    if op is None:
+        op = Operand(value)
+        object.__setattr__(value, "_as_op", op)
+    return op
 
 
 @dataclass(frozen=True)
@@ -169,16 +195,23 @@ class ALUInstruction(ILInstruction):
         return tuple(s.register for s in self.sources)
 
 
+@functools.lru_cache(maxsize=None)
 def temp(index: int) -> Register:
-    """Shorthand for a virtual temporary register ``r<index>``."""
+    """Shorthand for a virtual temporary register ``r<index>``.
+
+    Interned: kernels reuse the same low-numbered temporaries, and a
+    shared object amortizes the cached ``__str__``/operand wrappers.
+    """
     return Register(RegisterFile.TEMP, index)
 
 
+@functools.lru_cache(maxsize=None)
 def const(index: int) -> Register:
     """Shorthand for constant-buffer entry ``cb0[<index>]``."""
     return Register(RegisterFile.CONST, index)
 
 
+@functools.lru_cache(maxsize=None)
 def position() -> Register:
     """The position/thread-id register (``v0``)."""
     return Register(RegisterFile.POSITION, 0)

@@ -42,17 +42,14 @@ class ILOp(enum.Enum):
     SIN = OpInfo("sin", 1, transcendental=True)
     COS = OpInfo("cos", 1, transcendental=True)
 
-    @property
-    def mnemonic(self) -> str:
-        return self.value.mnemonic
-
-    @property
-    def arity(self) -> int:
-        return self.value.arity
-
-    @property
-    def transcendental(self) -> bool:
-        return self.value.transcendental
+    # Plain per-member attributes (assigned below): ``mnemonic``,
+    # ``arity`` and ``transcendental``.  Routing them through properties
+    # costs a DynamicClassAttribute descriptor call per access, which is
+    # measurable — every ALUInstruction construction checks ``arity``
+    # and every emit renders ``mnemonic``.
+    mnemonic: str
+    arity: int
+    transcendental: bool
 
     @classmethod
     def from_mnemonic(cls, mnemonic: str) -> "ILOp":
@@ -61,3 +58,9 @@ class ILOp(enum.Enum):
             if member.mnemonic == key:
                 return member
         raise ValueError(f"unknown IL opcode {mnemonic!r}")
+
+
+for _member in ILOp:
+    _member.mnemonic = _member.value.mnemonic
+    _member.arity = _member.value.arity
+    _member.transcendental = _member.value.transcendental

@@ -1,0 +1,85 @@
+"""Persistent run ledger: resume an interrupted sweep where it stopped.
+
+The ledger is an append-only JSONL file.  The header line stamps the
+code-version salt; every following line is one completed unit::
+
+    {"type": "ledger", "salt": 1}
+    {"key": "<unit key>", "record": {"seconds": ..., "gprs": ...}}
+
+The scheduler appends (and flushes) a line the moment a unit finishes,
+so killing a run loses at most the units in flight.  A rerun with
+``resume=True`` preloads the completed records and only simulates the
+remainder; :meth:`RunLedger.discard` removes the file once the whole run
+lands, so the next invocation starts fresh.
+
+A ledger written under a different :data:`~repro.jobs.units.CODE_VERSION`
+is ignored wholesale (the records may be stale), and a torn final line —
+the expected artifact of a kill — is skipped silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.jobs.units import CODE_VERSION, record_point
+
+
+class RunLedger:
+    """Append-only completion log for one logical run."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    def load(self) -> dict[str, dict]:
+        """Completed ``key -> record`` entries from a previous attempt."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return {}
+        completed: dict[str, dict] = {}
+        salt_ok = False
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a killed run
+            if raw.get("type") == "ledger":
+                salt_ok = raw.get("salt") == CODE_VERSION
+                continue
+            if not salt_ok:
+                continue
+            try:
+                completed[raw["key"]] = record_point(raw["record"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return completed
+
+    def append(self, key: str, record: dict) -> None:
+        """Record one completed unit, flushed to disk immediately."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = self.path.open("a")
+            if fresh:
+                self._fh.write(
+                    json.dumps({"type": "ledger", "salt": CODE_VERSION}) + "\n"
+                )
+        self._fh.write(json.dumps({"key": key, "record": record}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def discard(self) -> None:
+        """Close and delete — the run completed, nothing left to resume."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,245 @@
+"""The execution engine: fan units out, reassemble results in order.
+
+:class:`JobEngine` takes a planned list of :class:`~repro.jobs.units
+.WorkUnit` and returns their records *in submission order*, regardless of
+completion order — callers rebuild ``ResultSet``/``GridResult`` shapes
+that are bit-identical to a serial run.  Between planning and execution
+it consults, in priority order:
+
+1. the **run ledger** — units a killed previous attempt already finished
+   (``resume=True``),
+2. the **result cache** — content-addressed records from any earlier run,
+3. the **scheduler** — everything still pending, deduplicated by cache
+   key (identical launches shared between figures simulate once), run
+   either inline (``jobs <= 1``, the deterministic default) or across a
+   ``ProcessPoolExecutor`` with per-unit timeout and one retry after a
+   worker-pool crash.
+
+Telemetry (when enabled) gets a ``scheduler`` span per ``run()`` call,
+a ``unit`` span per unit with its resolution source, and the
+``jobs.cache.hit`` / ``jobs.cache.miss`` / ``jobs.resumed`` /
+``jobs.simulated`` counters documented in docs/telemetry.md.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro import telemetry
+from repro.jobs.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.jobs.ledger import RunLedger
+from repro.jobs.units import WorkUnit, record_point
+from repro.jobs.worker import run_payload, simulate_unit, unit_payload
+
+
+class JobError(RuntimeError):
+    """The engine could not complete the run."""
+
+
+class UnitTimeout(JobError):
+    """A unit exceeded the per-unit timeout budget."""
+
+
+@dataclass(frozen=True)
+class JobOptions:
+    """How to execute a planned run (CLI flags map onto this 1:1)."""
+
+    #: worker processes; 0 or 1 runs inline for strict determinism of
+    #: telemetry and exception timing (results are identical either way).
+    jobs: int = 0
+    #: result-cache root; ``None`` disables the cache entirely.
+    cache_dir: str | Path | None = None
+    #: preload the run ledger from a previous (killed) attempt.
+    resume: bool = False
+    #: explicit ledger path; defaults to ``<cache root>/ledger.jsonl``.
+    ledger_path: str | Path | None = None
+    #: per-unit timeout in seconds (measured from when the scheduler
+    #: starts waiting on the unit; ``None`` waits forever).
+    timeout: float | None = None
+
+    def resolved_ledger_path(self) -> Path:
+        if self.ledger_path is not None:
+            return Path(self.ledger_path)
+        root = Path(self.cache_dir) if self.cache_dir else DEFAULT_CACHE_DIR
+        return root / "ledger.jsonl"
+
+
+class JobEngine:
+    """One engine per logical run; share it across figures of a suite."""
+
+    def __init__(self, options: JobOptions | None = None) -> None:
+        self.options = options or JobOptions()
+        self.cache = (
+            ResultCache(self.options.cache_dir)
+            if self.options.cache_dir is not None
+            else None
+        )
+        self.ledger = RunLedger(self.options.resolved_ledger_path())
+        self.resumed = 0
+        self.simulated = 0
+        if self.options.resume:
+            self._resumed_records = self.ledger.load()
+            if not self._resumed_records and self.ledger.path.exists():
+                # Stale salt or empty file: start over with a fresh header.
+                self.ledger.discard()
+        else:
+            self._resumed_records = {}
+            self.ledger.discard()
+
+    # ---- execution -------------------------------------------------------
+    def run(self, units: Sequence[WorkUnit]) -> list[dict]:
+        """Execute ``units``; returns one record per unit, same order."""
+        results: dict[str, dict] = {}
+        pending: list[WorkUnit] = []
+        seen: set[str] = set()
+        uncacheable: list[WorkUnit] = []
+
+        with telemetry.span(
+            "scheduler",
+            jobs=self.options.jobs,
+            units=len(units),
+            resume=self.options.resume,
+            cache=self.cache is not None,
+        ) as span:
+            for unit in units:
+                if unit.sim.clause_stream is not None:
+                    # Session wiring (trace callbacks) cannot be cached
+                    # or shipped to a worker; always simulate inline.
+                    uncacheable.append(unit)
+                    continue
+                key = unit.key
+                if key in seen or key in results:
+                    continue
+                seen.add(key)
+                record = self._replay(unit)
+                if record is not None:
+                    results[key] = record
+                else:
+                    pending.append(unit)
+
+            if pending:
+                if self.options.jobs > 1:
+                    self._run_pool(pending, results)
+                else:
+                    for unit in pending:
+                        self._finish(
+                            unit, simulate_unit(unit), results, "serial"
+                        )
+            for unit in uncacheable:
+                record = record_point(simulate_unit(unit))
+                results[unit.key] = record
+                self.simulated += 1
+                self._count("jobs.simulated", unit.figure, mode="inline")
+
+            if span:
+                span.set(
+                    distinct=len(seen) + len(uncacheable),
+                    simulated=self.simulated,
+                    resumed=self.resumed,
+                    cache_hits=self.cache.hits if self.cache else 0,
+                    cache_misses=self.cache.misses if self.cache else 0,
+                )
+        return [results[unit.key] for unit in units]
+
+    def close(self, success: bool = True) -> None:
+        """Flush the cache index; drop the ledger once the run landed."""
+        if self.cache is not None and self.cache.puts:
+            self.cache.write_index()
+        if success:
+            self.ledger.discard()
+        else:
+            self.ledger.close()
+
+    # ---- resolution ------------------------------------------------------
+    def _replay(self, unit: WorkUnit) -> dict | None:
+        """A previously computed record (ledger, then cache), if any."""
+        record = self._resumed_records.get(unit.key)
+        if record is not None:
+            self.resumed += 1
+            self._count("jobs.resumed", unit.figure)
+            self._unit_span(unit, "resumed")
+            if self.cache is not None and self.cache.get(unit.key) is None:
+                self.cache.put(unit.key, record, figure=unit.figure)
+            return record
+        if self.cache is None:
+            return None
+        record = self.cache.get(unit.key)
+        if record is not None:
+            self._count("jobs.cache.hit", unit.figure)
+            self._unit_span(unit, "hit")
+            return record_point(record)
+        self._count("jobs.cache.miss", unit.figure)
+        return None
+
+    def _finish(
+        self, unit: WorkUnit, raw: dict, results: dict, mode: str
+    ) -> None:
+        record = record_point(raw)
+        results[unit.key] = record
+        self.simulated += 1
+        if self.cache is not None:
+            self.cache.put(unit.key, record, figure=unit.figure)
+        self.ledger.append(unit.key, record)
+        self._count("jobs.simulated", unit.figure, mode=mode)
+        self._unit_span(unit, mode, seconds=record["seconds"])
+
+    # ---- process pool ----------------------------------------------------
+    def _run_pool(self, pending: list[WorkUnit], results: dict) -> None:
+        remaining = pending
+        for attempt in (0, 1):
+            try:
+                self._pool_pass(remaining, results)
+                return
+            except BrokenProcessPool:
+                remaining = [u for u in remaining if u.key not in results]
+                if attempt or not remaining:
+                    raise JobError(
+                        f"worker pool crashed twice; {len(remaining)} "
+                        "units unfinished (see the run ledger)"
+                    ) from None
+                self._count("jobs.pool_retries", remaining[0].figure)
+
+    def _pool_pass(self, units: list[WorkUnit], results: dict) -> None:
+        with ProcessPoolExecutor(max_workers=self.options.jobs) as pool:
+            futures = [
+                (unit, pool.submit(run_payload, unit_payload(unit)))
+                for unit in units
+            ]
+            for unit, future in futures:
+                try:
+                    raw = future.result(timeout=self.options.timeout)
+                except concurrent.futures.TimeoutError:
+                    for _, other in futures:
+                        other.cancel()
+                    raise UnitTimeout(
+                        f"unit {unit.key[:12]} ({unit.figure}/{unit.series} "
+                        f"x={unit.value:g}) exceeded "
+                        f"{self.options.timeout}s"
+                    ) from None
+                self._finish(unit, raw, results, "pool")
+
+    # ---- telemetry -------------------------------------------------------
+    @staticmethod
+    def _count(name: str, figure: str, **labels) -> None:
+        if telemetry.enabled():
+            telemetry.metrics().counter(name, figure=figure, **labels).inc()
+
+    @staticmethod
+    def _unit_span(unit: WorkUnit, source: str, **attrs) -> None:
+        if not telemetry.enabled():
+            return
+        with telemetry.span(
+            "unit",
+            key=unit.key[:12],
+            figure=unit.figure,
+            series=unit.series,
+            x=unit.value,
+            source=source,
+            **attrs,
+        ):
+            pass

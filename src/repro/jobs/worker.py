@@ -1,0 +1,86 @@
+"""Unit execution: the one function both serial and pooled paths share.
+
+:func:`simulate_unit` is the whole measurement — compile under the
+unit's verification mode, simulate the launch, reduce the event to the
+small JSON-safe record the cache/ledger stores.  The pool entry point
+:func:`run_payload` is a module-level function (picklable) that rebuilds
+the unit from the payload dict :func:`unit_payload` produced.
+
+The simulator is deterministic, so the record is bit-identical whether
+the unit runs inline, in a worker process, or is replayed from cache —
+the property the determinism-guard test pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cal.device import Device
+from repro.cal.timing import time_kernel
+from repro.jobs.units import WorkUnit
+from repro.sim.config import SimConfig
+
+
+def simulate_unit(unit: WorkUnit, device: Device | None = None) -> dict:
+    """Run one unit and return its record (see ``units.record_point``)."""
+    from repro.verify import verification
+
+    dev = device if device is not None else Device(unit.gpu)
+    with verification(unit.verify):
+        event = time_kernel(
+            dev,
+            unit.kernel,
+            domain=unit.domain,
+            block=unit.block,
+            iterations=unit.iterations,
+            sim=unit.sim,
+        )
+    program = event.result.program
+    return {
+        "seconds": event.seconds,
+        "gprs": program.gpr_count,
+        "resident_wavefronts": event.counters.resident_wavefronts,
+        "bound": event.bottleneck.value,
+    }
+
+
+def unit_payload(unit: WorkUnit) -> dict:
+    """The picklable shape shipped to a worker process.
+
+    ``SimConfig.clause_stream`` is session wiring (callbacks into the
+    parent's tracer) and cannot cross a process boundary; the scheduler
+    refuses to parallelize units that carry one, so stripping it here is
+    safe for the payloads that do get shipped.
+    """
+    sim = unit.sim
+    if sim.clause_stream is not None:
+        sim = dataclasses.replace(sim, clause_stream=None)
+    return {
+        "figure": unit.figure,
+        "series": unit.series,
+        "value": unit.value,
+        "kernel": unit.kernel,
+        "gpu": unit.gpu,
+        "domain": unit.domain,
+        "block": unit.block,
+        "iterations": unit.iterations,
+        "sim": sim,
+        "verify": unit.verify,
+    }
+
+
+def run_payload(payload: dict) -> dict:
+    """Pool entry point: payload dict in, record dict out."""
+    unit = WorkUnit(
+        figure=payload["figure"],
+        series=payload["series"],
+        value=payload["value"],
+        kernel=payload["kernel"],
+        gpu=payload["gpu"],
+        domain=tuple(payload["domain"]),
+        block=tuple(payload["block"]),
+        iterations=payload["iterations"],
+        sim=payload["sim"] if payload["sim"] is not None else SimConfig(),
+        verify=payload["verify"],
+    )
+    return simulate_unit(unit)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.arch.registry import all_gpus
@@ -21,6 +22,10 @@ from repro.il.module import ILKernel
 from repro.il.types import DataType, ShaderMode
 from repro.sim.config import NAIVE_BLOCK, PAPER_ITERATIONS, SimConfig
 from repro.suite.results import ResultSet, Series, SeriesPoint
+
+if TYPE_CHECKING:
+    from repro.jobs.scheduler import JobEngine
+    from repro.jobs.units import WorkUnit
 
 
 @dataclass(frozen=True)
@@ -98,12 +103,57 @@ class MicroBenchmark(abc.ABC):
         return value
 
     # ---- harness -------------------------------------------------------------
+    def plan_units(
+        self,
+        gpus: tuple[GPUSpec, ...] | None = None,
+        fast: bool = False,
+    ) -> list[tuple[SeriesSpec, float, ILKernel, "WorkUnit"]]:
+        """Decompose the sweep into independent, content-addressed units.
+
+        The plan is ordered exactly like the serial loop (series-major,
+        sweep-minor), so reassembling the engine's ordered records yields
+        a byte-identical :class:`ResultSet`.  Kernels are built here —
+        generation is cheap and the canonical IL text is the cache key's
+        backbone — while compile+simulate is deferred to the engine.
+        """
+        from repro.jobs.units import WorkUnit
+
+        gpus = gpus if gpus is not None else all_gpus()
+        planned: list[tuple[SeriesSpec, float, ILKernel, WorkUnit]] = []
+        for spec in self.series_specs(gpus):
+            for value in self.sweep_values(fast):
+                kernel = self.build_kernel(value, spec)
+                unit = WorkUnit(
+                    figure=self.name,
+                    series=spec.label,
+                    value=value,
+                    kernel=kernel,
+                    gpu=spec.gpu,
+                    domain=self.domain_for(value, spec),
+                    block=spec.block,
+                    iterations=self.iterations,
+                    sim=self.sim,
+                    # Figure kernels always compile under full
+                    # verification (see run()); bake that into the unit
+                    # so worker processes reproduce it.
+                    verify=True,
+                )
+                planned.append((spec, value, kernel, unit))
+        return planned
+
     def run(
         self,
         gpus: tuple[GPUSpec, ...] | None = None,
         fast: bool = False,
+        engine: "JobEngine | None" = None,
     ) -> ResultSet:
-        """Measure every series over the sweep; returns the figure's data."""
+        """Measure every series over the sweep; returns the figure's data.
+
+        With an ``engine`` (:class:`repro.jobs.JobEngine`) the sweep is
+        decomposed into work units and executed through the cache/ledger/
+        scheduler pipeline; the reassembled figure is bit-identical to
+        the serial path, which remains the default.
+        """
         gpus = gpus if gpus is not None else all_gpus()
         result = ResultSet(
             name=self.name,
@@ -115,6 +165,9 @@ class MicroBenchmark(abc.ABC):
                 "fast": fast,
             },
         )
+        if engine is not None:
+            return self._run_with_engine(engine, gpus, fast, result)
+
         # Every figure kernel compiles under full verification: a
         # miscompile (wrong GPR count, broken clause formation) would
         # silently corrupt the measurement, so fail loudly instead.
@@ -156,6 +209,46 @@ class MicroBenchmark(abc.ABC):
                                 "suite.points", figure=self.name
                             ).inc()
                 result.add_series(series)
+            if fig_span:
+                fig_span.set(
+                    series=len(result.series),
+                    points=sum(len(s) for s in result.series),
+                )
+        return result
+
+    def _run_with_engine(
+        self,
+        engine: "JobEngine",
+        gpus: tuple[GPUSpec, ...],
+        fast: bool,
+        result: ResultSet,
+    ) -> ResultSet:
+        """Plan, execute through the jobs engine, reassemble in order."""
+        with telemetry.span(
+            "figure", figure=self.name, fast=fast
+        ) as fig_span:
+            planned = self.plan_units(gpus=gpus, fast=fast)
+            records = engine.run([unit for _, _, _, unit in planned])
+            series: Series | None = None
+            for (spec, value, kernel, _unit), record in zip(
+                planned, records
+            ):
+                if series is None or series.label != spec.label:
+                    series = Series(label=spec.label)
+                    result.add_series(series)
+                series.add(
+                    SeriesPoint(
+                        x=self.x_of(value, kernel, record["gprs"]),
+                        seconds=record["seconds"],
+                        gprs=record["gprs"],
+                        resident_wavefronts=record["resident_wavefronts"],
+                        bound=record["bound"],
+                    )
+                )
+                if telemetry.enabled():
+                    telemetry.metrics().counter(
+                        "suite.points", figure=self.name
+                    ).inc()
             if fig_span:
                 fig_span.set(
                     series=len(result.series),

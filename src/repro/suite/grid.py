@@ -14,6 +14,7 @@ invariance claim by extracting the knee at every input size.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.knees import find_knee
 from repro.arch.specs import GPUSpec
@@ -22,6 +23,9 @@ from repro.cal.timing import time_kernel
 from repro.il.types import DataType, ShaderMode
 from repro.kernels import KernelParams, generate_generic
 from repro.sim.config import NAIVE_BLOCK, PAPER_ITERATIONS, SimConfig
+
+if TYPE_CHECKING:
+    from repro.jobs.scheduler import JobEngine
 
 
 @dataclass(frozen=True)
@@ -40,11 +44,64 @@ class GridResult:
         return self.seconds[self.inputs.index(inputs)]
 
     def to_csv(self) -> str:
-        header = "inputs," + ",".join(f"{r:g}" for r in self.ratios)
+        header = "inputs," + ",".join(_ratio_headers(self.ratios))
         lines = [header]
         for n, row in zip(self.inputs, self.seconds):
             lines.append(f"{n}," + ",".join(f"{s:.6f}" for s in row))
         return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_csv(
+        cls,
+        text: str,
+        gpu: str = "",
+        dtype: DataType = DataType.FLOAT,
+        mode: ShaderMode = ShaderMode.PIXEL,
+    ) -> "GridResult":
+        """Rebuild a grid from :meth:`to_csv` output.
+
+        The chip/dtype/mode provenance is not part of the CSV; pass it
+        back in (defaults match :func:`alu_fetch_grid`'s).
+        """
+        lines = [line for line in text.strip().splitlines() if line]
+        header = lines[0].split(",")
+        if header[:1] != ["inputs"]:
+            raise ValueError("not a GridResult CSV (missing 'inputs' header)")
+        ratios = tuple(float(cell) for cell in header[1:])
+        inputs: list[int] = []
+        rows: list[tuple[float, ...]] = []
+        for line in lines[1:]:
+            cells = line.split(",")
+            if len(cells) != len(ratios) + 1:
+                raise ValueError(
+                    f"row {cells[0]!r}: {len(cells) - 1} cells for "
+                    f"{len(ratios)} ratios"
+                )
+            inputs.append(int(cells[0]))
+            rows.append(tuple(float(cell) for cell in cells[1:]))
+        return cls(
+            gpu=gpu,
+            dtype=dtype,
+            mode=mode,
+            inputs=tuple(inputs),
+            ratios=ratios,
+            seconds=tuple(rows),
+        )
+
+
+def _ratio_headers(ratios: tuple[float, ...]) -> list[str]:
+    """Distinct CSV headers for the ratio columns.
+
+    ``{r:g}`` collapses near-equal ratios onto one label (fine-grained
+    sweeps collide); start at ``{r:.6g}`` and widen the precision until
+    every distinct ratio formats distinctly, so the header always
+    round-trips through :meth:`GridResult.from_csv`.
+    """
+    for precision in (6, 9, 12, 17):
+        headers = [f"{r:.{precision}g}" for r in ratios]
+        if len(set(headers)) == len(set(ratios)):
+            return headers
+    return [repr(r) for r in ratios]
 
 
 def alu_fetch_grid(
@@ -57,28 +114,40 @@ def alu_fetch_grid(
     domain: tuple[int, int] = (1024, 1024),
     iterations: int = PAPER_ITERATIONS,
     sim: SimConfig | None = None,
+    engine: "JobEngine | None" = None,
 ) -> GridResult:
-    """Run the ALU:Fetch sweep at several input sizes."""
-    device = Device(gpu)
-    rows: list[tuple[float, ...]] = []
-    for n in inputs:
-        row = []
-        for ratio in ratios:
-            kernel = generate_generic(
-                KernelParams(
-                    inputs=n, alu_fetch_ratio=ratio, dtype=dtype, mode=mode
+    """Run the ALU:Fetch sweep at several input sizes.
+
+    With an ``engine`` (:class:`repro.jobs.JobEngine`) every grid cell
+    becomes a content-addressed work unit — cached, resumable, and
+    parallelizable — with cell values identical to the serial loop.
+    """
+    if engine is not None:
+        rows = _grid_rows_with_engine(
+            engine, gpu, inputs, ratios, dtype, mode, block, domain,
+            iterations, sim,
+        )
+    else:
+        device = Device(gpu)
+        rows = []
+        for n in inputs:
+            row = []
+            for ratio in ratios:
+                kernel = generate_generic(
+                    KernelParams(
+                        inputs=n, alu_fetch_ratio=ratio, dtype=dtype, mode=mode
+                    )
                 )
-            )
-            event = time_kernel(
-                device,
-                kernel,
-                domain=domain,
-                block=block,
-                iterations=iterations,
-                sim=sim,
-            )
-            row.append(event.seconds)
-        rows.append(tuple(row))
+                event = time_kernel(
+                    device,
+                    kernel,
+                    domain=domain,
+                    block=block,
+                    iterations=iterations,
+                    sim=sim,
+                )
+                row.append(event.seconds)
+            rows.append(tuple(row))
     return GridResult(
         gpu=gpu.chip,
         dtype=dtype,
@@ -87,6 +156,54 @@ def alu_fetch_grid(
         ratios=tuple(ratios),
         seconds=tuple(rows),
     )
+
+
+def _grid_rows_with_engine(
+    engine: "JobEngine",
+    gpu: GPUSpec,
+    inputs: tuple[int, ...],
+    ratios: tuple[float, ...],
+    dtype: DataType,
+    mode: ShaderMode,
+    block: tuple[int, int],
+    domain: tuple[int, int],
+    iterations: int,
+    sim: SimConfig | None,
+) -> list[tuple[float, ...]]:
+    """Decompose the grid into work units and reassemble the rows."""
+    from repro.jobs.units import WorkUnit
+    from repro.verify import default_verify
+
+    units = []
+    for n in inputs:
+        for ratio in ratios:
+            kernel = generate_generic(
+                KernelParams(
+                    inputs=n, alu_fetch_ratio=ratio, dtype=dtype, mode=mode
+                )
+            )
+            units.append(
+                WorkUnit(
+                    figure=f"grid-{gpu.chip}",
+                    series=f"{mode.value}-{dtype.value}-n{n}",
+                    value=ratio,
+                    kernel=kernel,
+                    gpu=gpu,
+                    domain=domain,
+                    block=block,
+                    iterations=iterations,
+                    sim=sim if sim is not None else SimConfig(),
+                    # The serial loop compiles under the ambient default;
+                    # resolve it now so workers match exactly.
+                    verify=default_verify(),
+                )
+            )
+    records = engine.run(units)
+    width = len(ratios)
+    return [
+        tuple(record["seconds"] for record in records[i : i + width])
+        for i in range(0, len(records), width)
+    ]
 
 
 def knees_by_input(grid: GridResult, tolerance: float = 0.05) -> dict[int, float | None]:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from contextlib import nullcontext
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.arch.registry import all_gpus
@@ -17,6 +18,9 @@ from repro.suite.read_latency import ReadLatencyBenchmark
 from repro.suite.register_usage import RegisterUsageBenchmark
 from repro.suite.results import ResultSet
 from repro.suite.write_latency import WriteLatencyBenchmark
+
+if TYPE_CHECKING:
+    from repro.jobs.scheduler import JobEngine, JobOptions
 
 #: experiment id -> benchmark factory, one per paper figure (DESIGN.md §5).
 BENCHMARKS: dict[str, Callable[..., MicroBenchmark]] = {
@@ -41,6 +45,7 @@ def run_benchmark(
     gpus: tuple[GPUSpec, ...] | None = None,
     fast: bool = False,
     sim: SimConfig | None = None,
+    engine: "JobEngine | None" = None,
     **kwargs,
 ) -> ResultSet:
     """Run one figure's benchmark and return its data."""
@@ -50,8 +55,11 @@ def run_benchmark(
         raise KeyError(
             f"unknown figure {figure!r}; known: {sorted(BENCHMARKS)}"
         ) from None
-    benchmark = factory(sim=sim, **kwargs) if sim else factory(**kwargs)
-    return benchmark.run(gpus=gpus, fast=fast)
+    # Construct the SimConfig exactly once and pass it unconditionally:
+    # an explicit ``sim=None`` must follow the same path as the default
+    # (a falsy-but-customized config must not be silently dropped either).
+    benchmark = factory(sim=sim if sim is not None else SimConfig(), **kwargs)
+    return benchmark.run(gpus=gpus, fast=fast, engine=engine)
 
 
 def run_suite(
@@ -60,6 +68,8 @@ def run_suite(
     fast: bool = False,
     out_dir: str | Path | None = None,
     telemetry_out: str | Path | None = None,
+    engine: "JobEngine | None" = None,
+    options: "JobOptions | None" = None,
 ) -> dict[str, ResultSet]:
     """Run several figures; optionally persist each as JSON in ``out_dir``.
 
@@ -67,10 +77,22 @@ def run_suite(
     launch — and writes a JSONL manifest there; each returned
     :class:`ResultSet` then carries the manifest path in its ``manifest``
     field (and its saved JSON), tying figure data to its provenance.
+
+    ``engine`` (or ``options``, from which an engine is built and closed
+    here) routes every figure through :mod:`repro.jobs`: one shared
+    result cache and run ledger across the whole suite, so identical
+    launches appearing in several figures simulate exactly once and an
+    interrupted invocation resumes mid-suite.
     """
     names = list(figures) if figures is not None else sorted(BENCHMARKS)
     gpus = gpus if gpus is not None else all_gpus()
     results: dict[str, ResultSet] = {}
+
+    owned_engine = None
+    if engine is None and options is not None:
+        from repro.jobs import JobEngine
+
+        engine = owned_engine = JobEngine(options)
 
     recorder = (
         telemetry.recording(
@@ -82,13 +104,22 @@ def run_suite(
         if telemetry_out is not None
         else nullcontext()
     )
-    with recorder:
-        for name in names:
-            results[name] = run_benchmark(name, gpus=gpus, fast=fast)
-            if telemetry_out is not None:
-                results[name].manifest = str(telemetry_out)
-            if out_dir is not None:
-                directory = Path(out_dir)
-                directory.mkdir(parents=True, exist_ok=True)
-                results[name].save(directory / f"{name}.json")
+    try:
+        with recorder:
+            for name in names:
+                results[name] = run_benchmark(
+                    name, gpus=gpus, fast=fast, engine=engine
+                )
+                if telemetry_out is not None:
+                    results[name].manifest = str(telemetry_out)
+                if out_dir is not None:
+                    directory = Path(out_dir)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    results[name].save(directory / f"{name}.json")
+    except BaseException:
+        if owned_engine is not None:
+            owned_engine.close(success=False)
+        raise
+    if owned_engine is not None:
+        owned_engine.close(success=True)
     return results

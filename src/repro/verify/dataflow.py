@@ -81,28 +81,50 @@ def def_use_chains(kernel: ILKernel) -> DefUseChains:
     return DefUseChains(defs, uses)
 
 
-def dead_instruction_indices(kernel: ILKernel) -> list[int]:
+def dead_instruction_indices(
+    kernel: ILKernel,
+    defined: list[tuple[Register, ...]] | None = None,
+    used: list[tuple[Register, ...]] | None = None,
+) -> list[int]:
     """Body indices whose results never reach a store or export.
 
     The backward-liveness recomputation is intentionally independent of
     :func:`repro.compiler.optimize.eliminate_dead_code` so the verifier
-    can cross-check the optimizer rather than trust it.
+    can cross-check the optimizer rather than trust it.  ``defined`` and
+    ``used`` accept per-instruction register tuples a caller has already
+    collected (the checks in :mod:`repro.verify.il_checks` walk the same
+    body several times).
     """
+    body = kernel.body
+    if defined is None:
+        defined = [instr.defined_registers() for instr in body]
+    if used is None:
+        used = [instr.used_registers() for instr in body]
     live: set[Register] = set()
-    keep = [False] * len(kernel.body)
-    for index in range(len(kernel.body) - 1, -1, -1):
-        instr = kernel.body[index]
-        if isinstance(instr, (ExportInstruction, GlobalStoreInstruction)):
-            keep[index] = True
+    dead: list[int] = []
+    temp_file = RegisterFile.TEMP
+    for index in range(len(body) - 1, -1, -1):
+        defs = defined[index]
+        if isinstance(
+            body[index], (ExportInstruction, GlobalStoreInstruction)
+        ):
+            keep = True
         else:
-            keep[index] = any(d in live for d in instr.defined_registers())
-        if keep[index]:
-            for d in instr.defined_registers():
+            keep = False
+            for d in defs:
+                if d in live:
+                    keep = True
+                    break
+        if keep:
+            for d in defs:
                 live.discard(d)
-            for u in instr.used_registers():
-                if u.file is RegisterFile.TEMP:
+            for u in used[index]:
+                if u.file is temp_file:
                     live.add(u)
-    return [i for i, flag in enumerate(keep) if not flag]
+        else:
+            dead.append(index)
+    dead.reverse()
+    return dead
 
 
 # ---- ISA level -------------------------------------------------------------

@@ -32,13 +32,17 @@ def _il_loc(index: int) -> SourceLocation:
 
 def check_kernel(kernel: ILKernel) -> list[Diagnostic]:
     """Run every IL check and return all findings (possibly empty)."""
+    # The passes walk the same straight-line body; collect each
+    # instruction's register tuples once instead of once per pass.
+    defined = [instr.defined_registers() for instr in kernel.body]
+    used = [instr.used_registers() for instr in kernel.body]
     diags: list[Diagnostic] = []
     diags += _check_outputs(kernel)
-    diags += _check_def_before_use(kernel)
-    diags += _check_inputs_used(kernel)
+    diags += _check_def_before_use(kernel, defined, used)
+    diags += _check_inputs_used(kernel, used)
     diags += _check_outputs_written(kernel)
     diags += _check_terminal_stores(kernel)
-    diags += _check_dead_writes(kernel)
+    diags += _check_dead_writes(kernel, defined, used)
     return diags
 
 
@@ -79,11 +83,15 @@ def _check_outputs(kernel: ILKernel) -> list[Diagnostic]:
     return diags
 
 
-def _check_def_before_use(kernel: ILKernel) -> list[Diagnostic]:
+def _check_def_before_use(
+    kernel: ILKernel,
+    defined_by: list[tuple[Register, ...]],
+    used_by: list[tuple[Register, ...]],
+) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     defined: set[Register] = set()
     for pos, instr in enumerate(kernel.body):
-        for reg in instr.used_registers():
+        for reg in used_by[pos]:
             if reg.file is RegisterFile.TEMP and reg not in defined:
                 diags.append(
                     diag(
@@ -94,16 +102,18 @@ def _check_def_before_use(kernel: ILKernel) -> list[Diagnostic]:
                         register=str(reg),
                     )
                 )
-        defined.update(instr.defined_registers())
+        defined.update(defined_by[pos])
     return diags
 
 
-def _check_inputs_used(kernel: ILKernel) -> list[Diagnostic]:
+def _check_inputs_used(
+    kernel: ILKernel, used_by: list[tuple[Register, ...]]
+) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     sampled: dict[int, Register] = {}
     global_loaded: dict[int, Register] = {}
     consumed: set[Register] = set()
-    for instr in kernel.body:
+    for pos, instr in enumerate(kernel.body):
         if isinstance(instr, SampleInstruction):
             sampled[instr.resource] = instr.dest
         elif isinstance(instr, GlobalLoadInstruction):
@@ -111,7 +121,7 @@ def _check_inputs_used(kernel: ILKernel) -> list[Diagnostic]:
         elif isinstance(
             instr, (ALUInstruction, ExportInstruction, GlobalStoreInstruction)
         ):
-            consumed.update(instr.used_registers())
+            consumed.update(used_by[pos])
 
     for decl in kernel.inputs:
         if decl.space is MemorySpace.TEXTURE:
@@ -199,9 +209,13 @@ def _check_terminal_stores(kernel: ILKernel) -> list[Diagnostic]:
     return diags
 
 
-def _check_dead_writes(kernel: ILKernel) -> list[Diagnostic]:
+def _check_dead_writes(
+    kernel: ILKernel,
+    defined_by: list[tuple[Register, ...]] | None = None,
+    used_by: list[tuple[Register, ...]] | None = None,
+) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
-    for pos in dead_instruction_indices(kernel):
+    for pos in dead_instruction_indices(kernel, defined_by, used_by):
         instr = kernel.body[pos]
         diags.append(
             diag(

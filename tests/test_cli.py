@@ -221,6 +221,72 @@ class TestFigureCommands:
         assert "expectations hold" in out
         assert "1/4th" in out  # the fig14 claim was evaluated
 
+    def test_fast_and_full_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--fast", "--full"])
+
+
+class TestJobsCommands:
+    def test_figure_with_cache_is_identical_and_reused(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        save_a, save_b = tmp_path / "a", tmp_path / "b"
+        args = ["figure", "fig13", "--fast", "--cache-dir", str(cache_dir)]
+        assert main([*args, "--save", str(save_a)]) == 0
+        assert main([*args, "--save", str(save_b)]) == 0
+        capsys.readouterr()
+        cold = (save_a / "fig13.json").read_text()
+        warm = (save_b / "fig13.json").read_text()
+        assert cold == warm  # byte-identical figure JSON from cache
+
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "entries:" in out
+
+    def test_cache_stats_json_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "figure", "fig13", "--fast",
+                    "--cache-dir", str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(cache_dir), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0 and stats["stale"] == 0
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert main(["cache", "stats", "--dir", str(cache_dir), "--json"]) == 0
+        capsys.readouterr()
+
+    def test_cache_gc_reports_removals(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--dir", str(tmp_path / "empty")]) == 0
+        assert "removed 0 stale entries" in capsys.readouterr().out
+
+    def test_grid_command_prints_csv_and_knees(self, tmp_path, capsys):
+        csv_path = tmp_path / "grid.csv"
+        assert (
+            main(
+                [
+                    "grid",
+                    "--inputs", "4", "8",
+                    "--ratio-max", "2",
+                    "--iterations", "100",
+                    "--cache-dir", str(tmp_path / "cache"),
+                    "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("inputs,0.25,")
+        assert "knee @ 4 inputs:" in out
+        assert csv_path.read_text().startswith("inputs,")
+
 
 class TestTelemetryCommands:
     def test_figure_telemetry_writes_manifest(self, tmp_path, capsys):

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.arch import RV770
-from repro.il.types import DataType
-from repro.suite import alu_fetch_grid, knees_by_input
+from repro.il.types import DataType, ShaderMode
+from repro.suite import GridResult, alu_fetch_grid, knees_by_input
 
 RATIOS = tuple(0.25 * k for k in range(1, 25))
 
@@ -29,6 +29,55 @@ class TestGridStructure:
         lines = csv.strip().split("\n")
         assert lines[0].startswith("inputs,0.25,")
         assert len(lines) == 4
+
+    def test_csv_round_trips(self, float_grid):
+        back = GridResult.from_csv(
+            float_grid.to_csv(),
+            gpu=float_grid.gpu,
+            dtype=float_grid.dtype,
+            mode=float_grid.mode,
+        )
+        assert back.inputs == float_grid.inputs
+        assert back.ratios == pytest.approx(float_grid.ratios, abs=0)
+        for row, original in zip(back.seconds, float_grid.seconds):
+            assert row == pytest.approx(original, abs=1e-6)
+
+    def test_fine_grained_ratio_headers_stay_distinct(self):
+        # {r:g} collapses near-equal ratios onto one header; the fixed
+        # formatter widens precision until every column is labeled
+        # uniquely, so fine sweeps round-trip.
+        ratios = (1.0, 1.0000001, 1.0000002, 2.0)
+        grid = GridResult(
+            gpu="RV770",
+            dtype=DataType.FLOAT,
+            mode=ShaderMode.PIXEL,
+            inputs=(4,),
+            ratios=ratios,
+            seconds=((0.1, 0.2, 0.3, 0.4),),
+        )
+        header = grid.to_csv().splitlines()[0].split(",")[1:]
+        assert len(set(header)) == len(ratios)
+        back = GridResult.from_csv(grid.to_csv())
+        assert back.ratios == ratios
+
+    def test_engine_grid_matches_serial(self, float_grid, tmp_path):
+        from repro.jobs import JobEngine, JobOptions
+
+        engine = JobEngine(
+            JobOptions(
+                cache_dir=tmp_path / "cache",
+                ledger_path=tmp_path / "ledger.jsonl",
+            )
+        )
+        through_engine = alu_fetch_grid(
+            RV770,
+            inputs=(4, 8, 16),
+            ratios=RATIOS,
+            dtype=DataType.FLOAT,
+            engine=engine,
+        )
+        engine.close()
+        assert through_engine == float_grid
 
     def test_times_scale_with_inputs_in_fetch_region(self, float_grid):
         # at ratio 0.25 the kernel is fetch-bound: time ~ inputs

@@ -1,0 +1,339 @@
+"""Tests for the repro.jobs execution engine.
+
+Covers the cache-key invalidation matrix (any input that can move a
+measured number must move the key), cache hit fidelity (bit-identical
+replay), the run ledger's resume semantics, scheduler deduplication,
+worker-crash retry, and cache maintenance (stats/gc/clear).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+import repro.jobs.units as units_mod
+from repro.arch import RV770, RV870
+from repro.il.types import DataType, ShaderMode
+from repro.jobs import (
+    CODE_VERSION,
+    JobEngine,
+    JobOptions,
+    ResultCache,
+    RunLedger,
+    WorkUnit,
+    cache_key,
+    record_point,
+    simulate_unit,
+)
+from repro.kernels import KernelParams, generate_generic
+from repro.sim.config import SimConfig
+
+
+def make_unit(
+    *,
+    gpu=RV770,
+    dtype=DataType.FLOAT,
+    mode=ShaderMode.PIXEL,
+    ratio=1.0,
+    inputs=4,
+    domain=(128, 128),
+    block=(64, 1),
+    iterations=100,
+    sim=None,
+    figure="test",
+) -> WorkUnit:
+    kernel = generate_generic(
+        KernelParams(
+            inputs=inputs, alu_fetch_ratio=ratio, dtype=dtype, mode=mode
+        )
+    )
+    return WorkUnit(
+        figure=figure,
+        series=f"{gpu.chip} {mode.value} {dtype.value}",
+        value=ratio,
+        kernel=kernel,
+        gpu=gpu,
+        domain=domain,
+        block=block,
+        iterations=iterations,
+        sim=sim if sim is not None else SimConfig(),
+        verify=True,
+    )
+
+
+class TestCacheKey:
+    def test_same_parameters_same_key(self):
+        assert make_unit().key == make_unit().key
+
+    def test_figure_and_series_labels_do_not_key(self):
+        # Identical launches shared between figures collapse onto one
+        # cache entry — the motivation for content addressing.
+        assert make_unit(figure="fig7").key == make_unit(figure="fig8").key
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            {"dtype": DataType.FLOAT4},
+            {"mode": ShaderMode.COMPUTE},
+            {"ratio": 2.0},
+            {"inputs": 8},
+            {"gpu": RV870},
+            {"domain": (256, 256)},
+            {"block": (4, 16)},
+            {"iterations": 200},
+            {"sim": SimConfig(cache_model=False)},
+            {"sim": SimConfig(odd_even_slots=False)},
+            {"sim": SimConfig(burst_exports=False)},
+            {"sim": SimConfig(gpr_limited_residency=False)},
+            {"sim": SimConfig(thrash_coeff=0.2)},
+            {"sim": SimConfig(pressure_threshold=8.0)},
+            {"sim": SimConfig(little_r_half=2.0)},
+            {"sim": SimConfig(tiled_reuse_distance=3.0)},
+            {"sim": SimConfig(max_simulated_wavefronts=96)},
+            {"sim": SimConfig(exact_threshold=128)},
+        ],
+        ids=lambda v: next(iter(v)) + ":" + repr(next(iter(v.values()))),
+    )
+    def test_invalidation_matrix(self, variant):
+        assert make_unit(**variant).key != make_unit().key
+
+    def test_every_simconfig_model_field_participates(self):
+        # A new SimConfig field that is not wired into config_hash would
+        # silently serve stale entries; fail here instead.
+        base = make_unit()
+        for field in dataclasses.fields(SimConfig):
+            if not field.compare:
+                continue  # session wiring (clause_stream) by design
+            value = getattr(base.sim, field.name)
+            if isinstance(value, bool):
+                bumped = not value
+            elif isinstance(value, (int, float)):
+                bumped = value * 2 + 1
+            else:
+                continue
+            sim = dataclasses.replace(base.sim, **{field.name: bumped})
+            assert make_unit(sim=sim).key != base.key, field.name
+
+    def test_code_version_salt_invalidates(self, monkeypatch):
+        base = make_unit()
+        before = cache_key(base)
+        monkeypatch.setattr(units_mod, "CODE_VERSION", CODE_VERSION + 1)
+        assert cache_key(make_unit()) != before
+
+    def test_clause_stream_does_not_key(self):
+        from repro.telemetry.hooks import EventStream
+
+        wired = SimConfig(clause_stream=EventStream())
+        assert make_unit(sim=wired).key == make_unit().key
+
+
+class TestCacheRoundTrip:
+    def test_hit_is_bit_identical(self, tmp_path):
+        unit = make_unit()
+        record = record_point(simulate_unit(unit))
+        cache = ResultCache(tmp_path)
+        cache.put(unit.key, record, figure=unit.figure)
+        replay = record_point(cache.get(unit.key))
+        assert replay == record
+        assert isinstance(replay["seconds"], float)
+        assert replay["seconds"] == record["seconds"]  # exact, not approx
+
+    def test_miss_then_repair(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 40) is None
+        assert cache.misses == 1
+
+    def test_corrupt_blob_reads_as_miss(self, tmp_path):
+        unit = make_unit()
+        cache = ResultCache(tmp_path)
+        cache.put(unit.key, record_point(simulate_unit(unit)))
+        cache.blob_path(unit.key).write_text("{not json")
+        assert cache.get(unit.key) is None
+
+    def test_stats_gc_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = make_unit()
+        record = record_point(simulate_unit(unit))
+        cache.put(unit.key, record, figure="figX")
+        # A blob salted under another code version is stale.
+        stale = dict(
+            key="f" * 40, version=CODE_VERSION + 1, figure="old",
+            created=0.0, record=record,
+        )
+        path = cache.blob_path("f" * 40)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(stale))
+
+        stats = cache.stats()
+        assert stats.entries == 2 and stats.stale == 1
+        assert stats.by_figure == {"figX": 1}
+
+        assert cache.gc() == 1
+        assert cache.get(unit.key) is not None
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
+
+
+class TestLedger:
+    def test_resume_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        record = {
+            "seconds": 1.25, "gprs": 4,
+            "resident_wavefronts": 8, "bound": "alu",
+        }
+        ledger.append("a" * 40, record)
+        ledger.close()
+        assert RunLedger(tmp_path / "ledger.jsonl").load() == {
+            "a" * 40: record
+        }
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        record = {
+            "seconds": 1.0, "gprs": 2,
+            "resident_wavefronts": 4, "bound": "fetch",
+        }
+        ledger.append("b" * 40, record)
+        ledger.close()
+        with path.open("a") as fh:
+            fh.write('{"key": "cc", "record": {"seconds"')  # killed mid-write
+        assert RunLedger(path).load() == {"b" * 40: record}
+
+    def test_wrong_salt_ledger_is_ignored(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            json.dumps({"type": "ledger", "salt": CODE_VERSION + 1})
+            + "\n"
+            + json.dumps({"key": "d" * 40, "record": {"seconds": 1.0}})
+            + "\n"
+        )
+        assert RunLedger(path).load() == {}
+
+
+class TestEngine:
+    def test_serial_engine_matches_direct_simulation(self, tmp_path):
+        units = [make_unit(ratio=r) for r in (0.5, 1.0, 2.0)]
+        engine = JobEngine(
+            JobOptions(cache_dir=tmp_path, ledger_path=tmp_path / "l.jsonl")
+        )
+        records = engine.run(units)
+        engine.close()
+        direct = [record_point(simulate_unit(u)) for u in units]
+        assert records == direct
+
+    def test_duplicate_keys_simulate_once(self, tmp_path):
+        units = [make_unit(figure="fig7"), make_unit(figure="fig8")]
+        engine = JobEngine(JobOptions(ledger_path=tmp_path / "l.jsonl"))
+        records = engine.run(units)
+        engine.close()
+        assert engine.simulated == 1
+        assert records[0] == records[1]
+
+    def test_resume_skips_completed_units(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        all_units = [make_unit(ratio=r) for r in (0.5, 1.0, 2.0, 4.0)]
+
+        # First attempt dies after two units (engine never closed).
+        first = JobEngine(JobOptions(ledger_path=ledger_path))
+        first.run(all_units[:2])
+        first.ledger.close()
+        assert ledger_path.exists()
+
+        second = JobEngine(JobOptions(ledger_path=ledger_path, resume=True))
+        records = second.run(all_units)
+        assert second.resumed == 2 and second.simulated == 2
+        assert records == [record_point(simulate_unit(u)) for u in all_units]
+        second.close(success=True)
+        assert not ledger_path.exists()
+
+    def test_fresh_run_truncates_stale_ledger(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        first = JobEngine(JobOptions(ledger_path=ledger_path))
+        first.run([make_unit()])
+        first.ledger.close()
+
+        fresh = JobEngine(JobOptions(ledger_path=ledger_path))  # no resume
+        assert fresh.run([make_unit()]) and fresh.simulated == 1
+        fresh.close()
+
+    def test_resumed_records_backfill_the_cache(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        unit = make_unit()
+        first = JobEngine(JobOptions(ledger_path=ledger_path))
+        first.run([unit])
+        first.ledger.close()
+
+        second = JobEngine(
+            JobOptions(
+                cache_dir=tmp_path / "cache",
+                ledger_path=ledger_path,
+                resume=True,
+            )
+        )
+        second.run([unit])
+        assert second.resumed == 1
+        assert second.cache.get(unit.key) is not None
+        second.close()
+
+    def test_clause_stream_units_bypass_cache(self, tmp_path):
+        from repro.telemetry.hooks import EventStream
+
+        unit = make_unit(sim=SimConfig(clause_stream=EventStream()))
+        engine = JobEngine(
+            JobOptions(cache_dir=tmp_path, ledger_path=tmp_path / "l.jsonl")
+        )
+        engine.run([unit])
+        engine.run([unit])
+        engine.close()
+        assert engine.simulated == 2  # never cached, always simulated
+        assert engine.cache.puts == 0
+
+    def test_worker_exception_propagates(self, tmp_path):
+        bad = dataclasses.replace(
+            make_unit(), iterations=0
+        )  # LaunchConfig rejects it
+        engine = JobEngine(JobOptions(ledger_path=tmp_path / "l.jsonl"))
+        with pytest.raises(ValueError):
+            engine.run([bad])
+        engine.close(success=False)
+
+
+def _crash_once_then_run(payload):
+    """Pool entry that hard-kills its worker on first use (see retry test)."""
+    from repro.jobs.worker import run_payload
+
+    sentinel = payload.pop("_sentinel")
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)  # simulates a segfaulting worker: BrokenProcessPool
+    return run_payload(payload)
+
+
+class TestPoolCrashRetry:
+    def test_retry_once_after_worker_crash(self, tmp_path, monkeypatch):
+        import repro.jobs.scheduler as sched_mod
+
+        sentinel = tmp_path / "crashed"
+        monkeypatch.setattr(sched_mod, "run_payload", _crash_once_then_run)
+        original_payload = sched_mod.unit_payload
+
+        def payload_with_sentinel(unit):
+            payload = original_payload(unit)
+            payload["_sentinel"] = str(sentinel)
+            return payload
+
+        monkeypatch.setattr(sched_mod, "unit_payload", payload_with_sentinel)
+
+        unit = make_unit()
+        engine = JobEngine(
+            JobOptions(jobs=2, ledger_path=tmp_path / "l.jsonl")
+        )
+        records = engine.run([unit])
+        engine.close()
+        assert sentinel.exists()  # the first attempt really died
+        assert records == [record_point(simulate_unit(unit))]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import ast
 import os
+import re
 import shutil
 import subprocess
 import sys
@@ -72,6 +73,33 @@ class _ImportLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    # String annotations ("JobEngine | None") reference imports — often
+    # ones guarded by TYPE_CHECKING — without producing Name nodes.
+    # Count their identifiers as uses, as ruff does.
+    def _string_annotation(self, annotation: ast.expr | None) -> None:
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            self.used.update(
+                re.findall(r"[A-Za-z_][A-Za-z0-9_]*", annotation.value)
+            )
+
+    def visit_arg(self, node: ast.arg) -> None:
+        self._string_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._string_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._string_annotation(node.returns)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._string_annotation(node.returns)
         self.generic_visit(node)
 
 
