@@ -68,13 +68,27 @@ class Context:
 
     # ---- modules ----------------------------------------------------------
     def load_module(self, kernel: ILKernel) -> Module:
-        """Compile an IL kernel for this device and wrap it as a module."""
+        """Compile an IL kernel for this device and wrap it as a module.
+
+        When a :class:`repro.compiler.cache.CompileCache` is installed
+        (the jobs engine scopes one around its runs), the compile goes
+        through it — repeated loads of content-identical kernels reuse
+        the compiled program instead of recompiling per launch.
+        """
         if not self.device.supports(kernel.mode):
             raise UnsupportedError(
                 f"{self.device.spec.chip} does not support "
                 f"{kernel.mode.value} shader mode"
             )
-        program = compile_kernel(kernel, self.device.spec)
+        # Imported lazily: the compile cache sits above repro.jobs in the
+        # layering, and plain contexts must not pay for it.
+        from repro.compiler.cache import active_cache
+
+        cache = active_cache()
+        if cache is not None:
+            program = cache.get_or_compile(kernel, self.device.spec)
+        else:
+            program = compile_kernel(kernel, self.device.spec)
         return Module(kernel=kernel, program=program)
 
     def bind_streams(

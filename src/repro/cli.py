@@ -530,13 +530,25 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         import json as _json
 
+        from repro.compiler.cache import ProgramStore
         from repro.jobs import DEFAULT_CACHE_DIR, ResultCache
 
         cache = ResultCache(args.dir if args.dir else DEFAULT_CACHE_DIR)
+        # The compiled-program store shares the result cache's root
+        # (the two tiers of docs/compile-cache.md), so one command
+        # covers both.
+        programs = ProgramStore(cache.root)
         if args.action == "stats":
             stats = cache.stats()
+            p_entries, p_bytes, p_stale = programs.scan()
             if args.json:
-                print(_json.dumps(stats.to_json(), indent=2))
+                payload = stats.to_json()
+                payload["programs"] = {
+                    "entries": p_entries,
+                    "bytes": p_bytes,
+                    "stale": p_stale,
+                }
+                print(_json.dumps(payload, indent=2))
             else:
                 print(f"cache root: {cache.root}")
                 print(
@@ -545,10 +557,16 @@ def _dispatch(args: argparse.Namespace) -> int:
                 )
                 for figure, count in sorted(stats.by_figure.items()):
                     print(f"  {figure}: {count}")
+                print(
+                    f"programs: {p_entries}  "
+                    f"({p_bytes / 1024:.1f} KiB, {p_stale} stale)"
+                )
         elif args.action == "gc":
             print(f"removed {cache.gc()} stale entries from {cache.root}")
+            print(f"removed {programs.gc()} stale compiled programs")
         else:
             print(f"removed {cache.clear()} entries from {cache.root}")
+            print(f"removed {programs.clear()} compiled programs")
         return 0
 
     if args.command == "stats":

@@ -1,0 +1,254 @@
+"""Content-addressed compiled-program cache (the JIT-kernel-cache analog).
+
+PR 3 made *simulation* content-addressed; this module does the same for
+compilation, the last uncached stage.  A :class:`CompileCache` fronts
+:func:`~repro.compiler.pipeline.compile_kernel` with two tiers:
+
+1. an **in-process LRU** of live :class:`~repro.isa.program.ISAProgram`
+   objects — the compile-once guarantee inside a run or pool worker;
+2. an optional **on-disk shard store** (:class:`ProgramStore`, built on
+   the same :class:`~repro.jobs.blobstore.BlobStore` machinery as the
+   result cache) holding the stable JSON serialization from
+   :mod:`repro.isa.serialize` — warm-start across processes and runs.
+
+Keys hash everything compiled output depends on: the canonical IL text,
+the GPU spec fingerprint, the clause-size options, the resolved verify
+flag, :data:`~repro.jobs.units.CODE_VERSION` and the serialization
+schema.  A cache hit therefore *is* the verified compile it replaces —
+verification ran when the entry was created, under the same key — and
+the differential round-trip tests prove deserialized programs execute
+bitwise-identically.
+
+The cache is **scoped, never ambient-by-default**: plain
+``compile_kernel`` calls stay uncached (telemetry tests pin a ``compile``
+span per serial figure point).  The jobs engine installs one around its
+runs via :func:`compile_cache_scope`, and pool workers install a
+process-local one at startup.  Traffic is observable through the
+``compile.cache.hit{layer=memory|disk}`` / ``compile.cache.miss`` /
+``compile.cache.serialize`` counters (docs/telemetry.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro import telemetry
+from repro.il.text import cached_il_text
+from repro.jobs.blobstore import BlobStore
+from repro.jobs.units import CODE_VERSION, gpu_fingerprint
+from repro.isa.serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    program_from_json,
+    program_to_json,
+)
+
+if TYPE_CHECKING:
+    from repro.arch.specs import GPUSpec
+    from repro.compiler.pipeline import CompileOptions
+    from repro.il.module import ILKernel
+    from repro.isa.program import ISAProgram
+
+#: in-process LRU capacity; the full suite compiles ~400 distinct
+#: programs, so the default holds a whole run without eviction.
+DEFAULT_CAPACITY = 512
+
+
+def compile_cache_key(
+    il_text: str,
+    gpu: "GPUSpec | None",
+    options: "CompileOptions",
+    verify: bool,
+) -> str:
+    """The compiled program's content address (hex, 40 chars)."""
+    material = {
+        "version": CODE_VERSION,
+        "schema": SCHEMA_VERSION,
+        "il": hashlib.sha256(il_text.encode()).hexdigest(),
+        "gpu": gpu.chip if gpu is not None else None,
+        "gpu_fingerprint": gpu_fingerprint(gpu) if gpu is not None else None,
+        "max_tex_per_clause": options.max_tex_per_clause,
+        "max_alu_per_clause": options.max_alu_per_clause,
+        "verify": bool(verify),
+    }
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:40]
+
+
+class ProgramStore(BlobStore):
+    """On-disk compiled programs: ``<root>/programs/ab/<key>.json``.
+
+    Shares the result cache's root by default (``results/cache/``), in
+    its own shard subtree, so ``repro cache stats/gc/clear`` maintain
+    both tiers together.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__(root, subdir="programs", salt=CODE_VERSION)
+
+    def load(
+        self, key: str, kernel: "ILKernel | None" = None
+    ) -> "ISAProgram | None":
+        """Deserialize the stored program, or ``None`` (counted a miss).
+
+        A corrupt or stale blob reads as a miss — the caller recompiles
+        and the fresh ``save`` repairs the entry.  ``kernel`` attaches
+        the caller's kernel instead of re-parsing the payload's IL text
+        (sound whenever ``key`` was derived from that kernel's IL hash);
+        this is what makes a warm load parse-free.
+        """
+        blob = self.read(key)
+        if not self.fresh(blob):
+            return None
+        try:
+            return program_from_json(blob["program"], kernel=kernel)
+        except (KeyError, SerializationError):
+            return None
+
+    def save(self, key: str, program: "ISAProgram") -> None:
+        self.write(
+            key,
+            {
+                "key": key,
+                "version": CODE_VERSION,
+                "created": time.time(),
+                "program": program_to_json(program),
+            },
+        )
+
+
+class CompileCache:
+    """Two-tier compile cache; one instance per engine run / pool worker."""
+
+    def __init__(
+        self,
+        store: ProgramStore | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.store = store
+        self.capacity = capacity
+        self._memory: OrderedDict[str, "ISAProgram"] = OrderedDict()
+        # Session traffic, mirrored into telemetry counters when enabled.
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.serialized = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ---- the compile front door ------------------------------------------
+    def get_or_compile(
+        self,
+        kernel: "ILKernel",
+        gpu: "GPUSpec | None" = None,
+        options: "CompileOptions | None" = None,
+        verify: bool | None = None,
+    ) -> "ISAProgram":
+        """A compiled program for ``kernel``, compiling at most once per key.
+
+        Resolves ``options``/``verify`` exactly like ``compile_kernel``
+        so the key matches what an uncached compile would have done.  A
+        hit (either tier) skips the compile *and* its verification — the
+        key includes the verify flag, so the cached entry was produced
+        under the same verification the caller asked for.
+        """
+        from repro.compiler.pipeline import CompileOptions, compile_kernel
+        from repro.verify.engine import default_verify
+
+        if verify is None:
+            verify = default_verify()
+        if options is None:
+            options = (
+                CompileOptions.for_gpu(gpu) if gpu is not None
+                else CompileOptions()
+            )
+        key = compile_cache_key(cached_il_text(kernel), gpu, options, verify)
+
+        program = self._memory.get(key)
+        if program is not None:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            self._count("compile.cache.hit", layer="memory")
+            return program
+
+        if self.store is not None:
+            program = self.store.load(key, kernel=kernel)
+            if program is not None:
+                self._remember(key, program)
+                self.disk_hits += 1
+                self._count("compile.cache.hit", layer="disk")
+                return program
+
+        self.misses += 1
+        self._count("compile.cache.miss")
+        program = compile_kernel(kernel, gpu, options, verify=verify)
+        self._remember(key, program)
+        if self.store is not None:
+            self.store.save(key, program)
+            self.serialized += 1
+            self._count("compile.cache.serialize")
+        return program
+
+    def _remember(self, key: str, program: "ISAProgram") -> None:
+        self._memory[key] = program
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    @staticmethod
+    def _count(name: str, **labels) -> None:
+        if telemetry.enabled():
+            telemetry.metrics().counter(name, **labels).inc()
+
+
+# ---- the ambient (scoped) cache ----------------------------------------------
+
+_active: CompileCache | None = None
+
+
+def active_cache() -> CompileCache | None:
+    """The cache installed for this process, if any (default: none)."""
+    return _active
+
+
+def install_cache(cache: CompileCache | None) -> CompileCache | None:
+    """Install ``cache`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = cache
+    return previous
+
+
+@contextmanager
+def compile_cache_scope(cache: CompileCache) -> Iterator[CompileCache]:
+    """Route ``Context.load_module`` compiles through ``cache`` within the
+    block (the jobs engine wraps each run in this)."""
+    previous = install_cache(cache)
+    try:
+        yield cache
+    finally:
+        install_cache(previous)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "CompileCache",
+    "ProgramStore",
+    "active_cache",
+    "compile_cache_key",
+    "compile_cache_scope",
+    "install_cache",
+]

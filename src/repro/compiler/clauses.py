@@ -24,7 +24,7 @@ from repro.il.instructions import (
 from repro.il.module import ILKernel
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchSegment:
     """A maximal run of fetch instructions (one or more TEX clauses)."""
 
@@ -33,14 +33,14 @@ class FetchSegment:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class ALUSegment:
     """A maximal run of ALU instructions (one or more ALU clauses)."""
 
     instructions: list[ALUInstruction] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreSegment:
     """The trailing exports/global stores (one export clause)."""
 
@@ -62,35 +62,45 @@ def form_segments(kernel: ILKernel) -> list[Segment]:
     """
     segments: list[Segment] = []
     stores = StoreSegment()
-
-    def last_segment(cls):
-        if segments and isinstance(segments[-1], cls):
-            return segments[-1]
-        seg = cls()
-        segments.append(seg)
-        return seg
+    store_list = stores.stores
+    # The open fetch/ALU run's backing list, appended to directly; reset
+    # whenever the segment kind flips.  ALU instructions dominate every
+    # generated kernel (hundreds per kernel vs. at most ~18 fetches), so
+    # they are dispatched first.
+    open_kind: type | None = None
+    open_list: list = []
 
     for instr in kernel.body:
-        if isinstance(instr, (SampleInstruction, GlobalLoadInstruction)):
-            if stores.stores:
-                raise CompileError(
-                    f"kernel {kernel.name!r}: fetch after store is not "
-                    "supported (exports terminate the program)"
-                )
-            last_segment(FetchSegment).fetches.append(instr)
-        elif isinstance(instr, ALUInstruction):
-            if stores.stores:
+        if isinstance(instr, ALUInstruction):
+            if store_list:
                 raise CompileError(
                     f"kernel {kernel.name!r}: ALU instruction after store is "
                     "not supported (exports terminate the program)"
                 )
-            last_segment(ALUSegment).instructions.append(instr)
+            if open_kind is not ALUSegment:
+                seg = ALUSegment()
+                segments.append(seg)
+                open_kind = ALUSegment
+                open_list = seg.instructions
+            open_list.append(instr)
+        elif isinstance(instr, (SampleInstruction, GlobalLoadInstruction)):
+            if store_list:
+                raise CompileError(
+                    f"kernel {kernel.name!r}: fetch after store is not "
+                    "supported (exports terminate the program)"
+                )
+            if open_kind is not FetchSegment:
+                seg = FetchSegment()
+                segments.append(seg)
+                open_kind = FetchSegment
+                open_list = seg.fetches
+            open_list.append(instr)
         elif isinstance(instr, (ExportInstruction, GlobalStoreInstruction)):
-            stores.stores.append(instr)
+            store_list.append(instr)
         else:  # pragma: no cover - defensive
             raise CompileError(f"unsupported instruction {instr!r}")
 
-    if not stores.stores:
+    if not store_list:
         raise CompileError(f"kernel {kernel.name!r} produces no output")
     segments.append(stores)
     return segments

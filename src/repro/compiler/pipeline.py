@@ -79,14 +79,24 @@ def compile_kernel(
     ) as span:
         validate_kernel(kernel)
         original = kernel
+        case = None
         kernel, _removed = eliminate_dead_code(kernel)
         if verify and kernel is not original:
             from repro.verify.differential import (
                 PassValidationError,
                 check_il_pass,
+                seeded_case,
             )
 
-            drift = check_il_pass(original, kernel, "eliminate_dead_code")
+            # One seeded test vector serves every differential check of
+            # this compile (DCE validation and the lowering check): the
+            # inputs depend only on the kernel name, which DCE preserves.
+            # Built only when a check will actually execute — the memoized
+            # verify path below never touches it.
+            case = seeded_case(original)
+            drift = check_il_pass(
+                original, kernel, "eliminate_dead_code", case=case
+            )
             if drift:
                 raise PassValidationError(
                     "differential validation of pass 'eliminate_dead_code' "
@@ -128,6 +138,7 @@ def compile_kernel(
                     program,
                     max_tex_per_clause=options.max_tex_per_clause,
                     max_alu_per_clause=options.max_alu_per_clause,
+                    case=case,
                 )
         if span:
             span.set(

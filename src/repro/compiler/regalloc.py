@@ -49,17 +49,17 @@ from repro.isa.clauses import (
 from repro.il.types import MemorySpace
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtoTexClause:
     fetches: list[SampleInstruction | GlobalLoadInstruction]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtoALUClause:
     bundles: list[ProtoBundle]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtoExportClause:
     stores: list[ExportInstruction | GlobalStoreInstruction]
 
@@ -67,7 +67,7 @@ class ProtoExportClause:
 ProtoClause = ProtoTexClause | ProtoALUClause | ProtoExportClause
 
 
-@dataclass
+@dataclass(slots=True)
 class _DefInfo:
     pos: int
     clause: int
@@ -76,7 +76,7 @@ class _DefInfo:
     slot: str | None  #: VLIW slot of an ALU def (None for fetches)
 
 
-@dataclass
+@dataclass(slots=True)
 class _UseInfo:
     pos: int
     clause: int
@@ -95,6 +95,8 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
     defs: dict[Register, _DefInfo] = {}
     uses: dict[Register, list[_UseInfo]] = {}
     pos = 0
+    temp_file = RegisterFile.TEMP
+    record_use = uses.setdefault
 
     for c_index, clause in enumerate(proto):
         if isinstance(clause, ProtoTexClause):
@@ -103,19 +105,23 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
                 pos += 1
         elif isinstance(clause, ProtoALUClause):
             for b_index, bundle in enumerate(clause.bundles):
+                # One _UseInfo record serves every operand of the bundle:
+                # the fields are per-bundle and the record is never
+                # mutated, so sharing it is observationally identical.
+                use = _UseInfo(pos, c_index, b_index)
                 for slot, instr in bundle.ops:
-                    for reg in instr.used_registers():
-                        if reg.file is RegisterFile.TEMP:
-                            uses.setdefault(reg, []).append(
-                                _UseInfo(pos, c_index, b_index)
-                            )
+                    for operand in instr.sources:
+                        reg = operand.register
+                        if reg.file is temp_file:
+                            record_use(reg, []).append(use)
                     defs[instr.dest] = _DefInfo(pos, c_index, b_index, False, slot)
                 pos += 1
         else:
             for store in clause.stores:
+                use = _UseInfo(pos, c_index, -1)
                 for reg in store.used_registers():
-                    if reg.file is RegisterFile.TEMP:
-                        uses.setdefault(reg, []).append(_UseInfo(pos, c_index, -1))
+                    if reg.file is temp_file:
+                        record_use(reg, []).append(use)
                 pos += 1
 
     storage = _decide_storage(defs, uses)
@@ -172,15 +178,12 @@ def allocate(kernel: ILKernel, proto: list[ProtoClause]) -> AllocationResult:
             bundles = []
             for b_index, bundle in enumerate(clause.bundles):
                 ops = []
+                site = _UseInfo(0, c_index, b_index)
                 for slot, instr in bundle.ops:
                     dest_kind = storage.get(instr.dest)
                     dest = Value(*dest_kind) if dest_kind is not None else None
                     sources = tuple(
-                        locate(
-                            operand.register,
-                            _UseInfo(0, c_index, b_index),
-                            operand.negate,
-                        )
+                        locate(operand.register, site, operand.negate)
                         for operand in instr.sources
                     )
                     ops.append(ALUOp(slot, instr.op, dest, sources))
@@ -220,24 +223,23 @@ def _decide_storage(
     """
     storage: dict[Register, tuple[ValueLocation, int] | None] = {}
     for reg, info in defs.items():
-        use_list = uses.get(reg, [])
-        needs = info.is_fetch and bool(use_list)
-        intra_clause = True
-        for use in use_list:
-            pv_able = (
-                not info.is_fetch
-                and use.clause == info.clause
-                and use.bundle == info.bundle + 1
-            )
-            if not pv_able:
-                needs = True
-            if use.clause != info.clause or use.bundle == -1:
-                intra_clause = False
+        use_list = uses.get(reg)
         if not use_list:
             continue  # dead value (DCE should have removed it)
+        is_fetch = info.is_fetch
+        def_clause = info.clause
+        pv_bundle = info.bundle + 1
+        needs = is_fetch
+        intra_clause = True
+        for use in use_list:
+            use_clause = use.clause
+            if is_fetch or use_clause != def_clause or use.bundle != pv_bundle:
+                needs = True
+            if use_clause != def_clause or use.bundle == -1:
+                intra_clause = False
         if not needs:
             continue
-        if not info.is_fetch and intra_clause:
+        if not is_fetch and intra_clause:
             storage[reg] = (ValueLocation.CLAUSE_TEMP, -1)
         else:
             storage[reg] = (ValueLocation.GPR, -1)

@@ -53,14 +53,17 @@ class ILOp(enum.Enum):
 
     @classmethod
     def from_mnemonic(cls, mnemonic: str) -> "ILOp":
-        key = mnemonic.strip().lower()
-        for member in cls:
-            if member.mnemonic == key:
-                return member
-        raise ValueError(f"unknown IL opcode {mnemonic!r}")
+        # Dict lookup, not a member scan: the IL parser and the program
+        # deserializer call this once per instruction.
+        try:
+            return _BY_MNEMONIC[mnemonic.strip().lower()]
+        except KeyError:
+            raise ValueError(f"unknown IL opcode {mnemonic!r}") from None
 
 
 for _member in ILOp:
     _member.mnemonic = _member.value.mnemonic
     _member.arity = _member.value.arity
     _member.transcendental = _member.value.transcendental
+
+_BY_MNEMONIC = {_member.mnemonic: _member for _member in ILOp}

@@ -49,3 +49,18 @@ def emit_il(kernel: ILKernel) -> str:
     lines.extend(str(instr) for instr in kernel.body)
     lines.append("end")
     return "\n".join(lines) + "\n"
+
+
+def cached_il_text(kernel: ILKernel) -> str:
+    """:func:`emit_il`, memoized on the kernel instance.
+
+    The canonical IL text is the kernel's content identity for both the
+    result cache and the compiled-program cache; when ``plan_units``
+    shares one kernel object across sweep points, every consumer renders
+    it exactly once.
+    """
+    text = kernel.__dict__.get("_il_text")
+    if text is None:
+        text = emit_il(kernel)
+        object.__setattr__(kernel, "_il_text", text)
+    return text

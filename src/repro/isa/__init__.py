@@ -22,6 +22,12 @@ from repro.isa.clauses import (
 from repro.isa.program import ISAProgram
 from repro.isa.disasm import disassemble
 from repro.isa.interp import ISAExecutionError, execute_program
+from repro.isa.serialize import (
+    SerializationError,
+    program_digest,
+    program_from_json,
+    program_to_json,
+)
 from repro.isa.stats import ISAStats, collect_stats
 
 __all__ = [
@@ -34,10 +40,14 @@ __all__ = [
     "ISAExecutionError",
     "ISAProgram",
     "ISAStats",
+    "SerializationError",
     "StoreInstr",
     "TEXClause",
     "ValueLocation",
     "collect_stats",
     "disassemble",
     "execute_program",
+    "program_digest",
+    "program_from_json",
+    "program_to_json",
 ]

@@ -9,8 +9,10 @@ Layout (default root ``results/cache/``)::
 Blobs are content-addressed by :func:`repro.jobs.units.cache_key`, so a
 ``get`` is a single path probe — the index is metadata for ``stats`` and
 ``gc``, not a lookup dependency, and a missing or corrupt index never
-loses data.  Writes go through a temp file + rename so a killed run
-leaves no half-written blob behind.
+loses data.  The sharded layout, atomic writes and salt-aware
+maintenance live in :class:`repro.jobs.blobstore.BlobStore`, shared with
+the compiled-program cache (:mod:`repro.compiler.cache`) — docs/jobs.md
+describes the two-tier arrangement.
 
 Because :data:`~repro.jobs.units.CODE_VERSION` participates in the key,
 a compiler/simulator change makes old entries unreachable rather than
@@ -20,12 +22,11 @@ wrong; ``gc`` reaps blobs recorded under a different salt.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.jobs.blobstore import BlobStore
 from repro.jobs.units import CODE_VERSION
 
 #: default cache root, relative to the working directory.
@@ -56,7 +57,7 @@ class CacheStats:
         }
 
 
-class ResultCache:
+class ResultCache(BlobStore):
     """get/put/stats/gc over the blob store.
 
     Session hit/miss/put counts live on the instance; one instance is
@@ -65,22 +66,15 @@ class ResultCache:
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
-        self.root = Path(root)
+        super().__init__(root, subdir="objects", salt=CODE_VERSION)
         self.hits = 0
         self.misses = 0
         self.puts = 0
 
     # ---- paths -----------------------------------------------------------
     @property
-    def objects_dir(self) -> Path:
-        return self.root / "objects"
-
-    @property
     def index_path(self) -> Path:
         return self.root / "index.json"
-
-    def blob_path(self, key: str) -> Path:
-        return self.objects_dir / key[:2] / f"{key}.json"
 
     # ---- core API --------------------------------------------------------
     def get(self, key: str) -> dict | None:
@@ -89,11 +83,9 @@ class ResultCache:
         A corrupt blob reads as a miss: the unit re-simulates and the
         fresh ``put`` repairs the entry.
         """
-        path = self.blob_path(key)
-        try:
-            blob = json.loads(path.read_text())
-            record = blob["record"]
-        except (OSError, ValueError, KeyError):
+        blob = self.read(key)
+        record = blob.get("record") if blob is not None else None
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -101,51 +93,29 @@ class ResultCache:
 
     def put(self, key: str, record: dict, figure: str | None = None) -> None:
         """Store ``record`` under ``key`` atomically (temp file + rename)."""
-        path = self.blob_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = {
-            "key": key,
-            "version": CODE_VERSION,
-            "figure": figure,
-            "created": time.time(),
-            "record": record,
-        }
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        self.write(
+            key,
+            {
+                "key": key,
+                "version": CODE_VERSION,
+                "figure": figure,
+                "created": time.time(),
+                "record": record,
+            },
         )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps(blob, sort_keys=True))
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
         self.puts += 1
 
     # ---- maintenance -----------------------------------------------------
-    def _blobs(self):
-        """Yield ``(path, blob | None)`` for every stored object."""
-        if not self.objects_dir.is_dir():
-            return
-        for path in sorted(self.objects_dir.glob("*/*.json")):
-            try:
-                yield path, json.loads(path.read_text())
-            except (OSError, ValueError):
-                yield path, None
-
     def stats(self) -> CacheStats:
         """Scan the store and fold in this session's traffic counters."""
         stats = CacheStats(hits=self.hits, misses=self.misses, puts=self.puts)
-        for path, blob in self._blobs():
+        for path, blob in self.iter_blobs():
             stats.entries += 1
             try:
                 stats.bytes += path.stat().st_size
             except OSError:
                 pass
-            if blob is None or blob.get("version") != CODE_VERSION:
+            if not self.fresh(blob):
                 stats.stale += 1
                 continue
             figure = blob.get("figure") or "?"
@@ -155,7 +125,7 @@ class ResultCache:
     def write_index(self) -> Path:
         """Snapshot entry metadata to ``index.json`` (human/tooling aid)."""
         entries = {}
-        for path, blob in self._blobs():
+        for path, blob in self.iter_blobs():
             if blob is None:
                 continue
             entries[blob.get("key", path.stem)] = {
@@ -173,27 +143,14 @@ class ResultCache:
 
     def gc(self) -> int:
         """Delete unreadable blobs and ones salted under another version."""
-        removed = 0
-        for path, blob in self._blobs():
-            if blob is None or blob.get("version") != CODE_VERSION:
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        removed = super().gc()
         if self.index_path.exists():
             self.write_index()
         return removed
 
     def clear(self) -> int:
         """Delete every entry (and the index); returns the removed count."""
-        removed = 0
-        for path, _blob in self._blobs():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        removed = super().clear()
         try:
             self.index_path.unlink()
         except OSError:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import concurrent.futures
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -34,7 +35,12 @@ from repro import telemetry
 from repro.jobs.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.jobs.ledger import RunLedger
 from repro.jobs.units import WorkUnit, record_point
-from repro.jobs.worker import run_payload, simulate_unit, unit_payload
+from repro.jobs.worker import (
+    initialize_worker,
+    run_payload,
+    simulate_unit,
+    unit_payload,
+)
 
 
 class JobError(RuntimeError):
@@ -61,6 +67,13 @@ class JobOptions:
     #: per-unit timeout in seconds (measured from when the scheduler
     #: starts waiting on the unit; ``None`` waits forever).
     timeout: float | None = None
+    #: compile each distinct (IL, GPU, options) once per run via the
+    #: in-process compiled-program cache (docs/compile-cache.md).
+    compile_cache: bool = True
+    #: on-disk compiled-program store root; defaults to the result-cache
+    #: root (the two tiers share ``results/cache/``), ``None`` with no
+    #: cache_dir keeps compiled programs in memory only.
+    program_cache_dir: str | Path | None = None
 
     def resolved_ledger_path(self) -> Path:
         if self.ledger_path is not None:
@@ -68,15 +81,35 @@ class JobOptions:
         root = Path(self.cache_dir) if self.cache_dir else DEFAULT_CACHE_DIR
         return root / "ledger.jsonl"
 
+    def resolved_program_root(self) -> Path | None:
+        """Where compiled programs persist (``None`` = memory tier only)."""
+        if not self.compile_cache:
+            return None
+        if self.program_cache_dir is not None:
+            return Path(self.program_cache_dir)
+        if self.cache_dir is not None:
+            return Path(self.cache_dir)
+        return None
+
 
 class JobEngine:
     """One engine per logical run; share it across figures of a suite."""
 
     def __init__(self, options: JobOptions | None = None) -> None:
+        from repro.compiler.cache import CompileCache, ProgramStore
+
         self.options = options or JobOptions()
         self.cache = (
             ResultCache(self.options.cache_dir)
             if self.options.cache_dir is not None
+            else None
+        )
+        program_root = self.options.resolved_program_root()
+        self.programs = (
+            CompileCache(
+                ProgramStore(program_root) if program_root else None
+            )
+            if self.options.compile_cache
             else None
         )
         self.ledger = RunLedger(self.options.resolved_ledger_path())
@@ -94,12 +127,23 @@ class JobEngine:
     # ---- execution -------------------------------------------------------
     def run(self, units: Sequence[WorkUnit]) -> list[dict]:
         """Execute ``units``; returns one record per unit, same order."""
+        from repro.compiler.cache import compile_cache_scope
+
         results: dict[str, dict] = {}
         pending: list[WorkUnit] = []
         seen: set[str] = set()
         uncacheable: list[WorkUnit] = []
 
-        with telemetry.span(
+        # Route every inline compile through the engine's program cache,
+        # so each distinct (IL, GPU, options) compiles exactly once per
+        # run.  Pool workers install their own process-local cache (see
+        # ``worker.initialize_worker``).
+        scope = (
+            compile_cache_scope(self.programs)
+            if self.programs is not None
+            else nullcontext()
+        )
+        with scope, telemetry.span(
             "scheduler",
             jobs=self.options.jobs,
             units=len(units),
@@ -143,6 +187,12 @@ class JobEngine:
                     resumed=self.resumed,
                     cache_hits=self.cache.hits if self.cache else 0,
                     cache_misses=self.cache.misses if self.cache else 0,
+                    # Inline compile-cache traffic; pool workers keep
+                    # their own process-local counters.
+                    compile_hits=self.programs.hits if self.programs else 0,
+                    compile_misses=(
+                        self.programs.misses if self.programs else 0
+                    ),
                 )
         return [results[unit.key] for unit in units]
 
@@ -205,7 +255,16 @@ class JobEngine:
                 self._count("jobs.pool_retries", remaining[0].figure)
 
     def _pool_pass(self, units: list[WorkUnit], results: dict) -> None:
-        with ProcessPoolExecutor(max_workers=self.options.jobs) as pool:
+        program_root = self.options.resolved_program_root()
+        with ProcessPoolExecutor(
+            max_workers=self.options.jobs,
+            initializer=initialize_worker if self.programs else None,
+            initargs=(
+                (str(program_root) if program_root else None,)
+                if self.programs
+                else ()
+            ),
+        ) as pool:
             futures = [
                 (unit, pool.submit(run_payload, unit_payload(unit)))
                 for unit in units

@@ -30,7 +30,7 @@ from functools import cached_property
 
 from repro.arch.specs import GPUSpec
 from repro.il.module import ILKernel
-from repro.il.text import emit_il
+from repro.il.text import cached_il_text
 from repro.sim.config import SimConfig
 from repro.telemetry import config_hash
 
@@ -65,7 +65,7 @@ class WorkUnit:
     @cached_property
     def il_text(self) -> str:
         """The canonical IL — the compiler-facing identity of the kernel."""
-        return emit_il(self.kernel)
+        return cached_il_text(self.kernel)
 
     @cached_property
     def key(self) -> str:

@@ -44,6 +44,25 @@ def simulate_unit(unit: WorkUnit, device: Device | None = None) -> dict:
     }
 
 
+def initialize_worker(program_root: str | None = None) -> None:
+    """Pool-worker startup: install a process-local compile cache.
+
+    Each worker memoizes compiles for its own lifetime (the same kernel
+    arriving as many launch shapes compiles once per worker, not once
+    per unit); with a ``program_root`` the workers additionally share
+    compiled programs with each other — and with past runs — through
+    the on-disk store.
+    """
+    from repro.compiler.cache import (
+        CompileCache,
+        ProgramStore,
+        install_cache,
+    )
+
+    store = ProgramStore(program_root) if program_root else None
+    install_cache(CompileCache(store))
+
+
 def unit_payload(unit: WorkUnit) -> dict:
     """The picklable shape shipped to a worker process.
 

@@ -112,8 +112,20 @@ def _run_event_loop(
     if not clauses:
         raise ValueError("wavefront program has no clauses")
 
-    busy: dict[Resource, float] = {r: 0.0 for r in Resource}
-    free_at: dict[Resource, float] = {r: 0.0 for r in Resource}
+    # Resource state is integer-indexed inside the loop: ~1e5 events per
+    # launch each touch it four times, and ``Enum.__hash__`` is a
+    # Python-level call that dominated the loop's profile when the state
+    # lived in enum-keyed dicts.  The arithmetic and its order are
+    # unchanged, so results are bit-identical.
+    members = list(Resource)
+    index_of = {r: i for i, r in enumerate(members)}
+    busy_by_index = [0.0] * len(members)
+    free_by_index = [0.0] * len(members)
+    #: (resource index, occupancy, latency) per clause, resolved once.
+    steps = [
+        (index_of[c.resource], c.occupancy, c.latency) for c in clauses
+    ]
+    last = len(clauses) - 1
     completions: list[float] = []
     if record is not None:
         from repro.sim.trace import TraceEvent
@@ -125,34 +137,38 @@ def _run_event_loop(
     ]
     heapq.heapify(heap)
     admitted = initial
+    heappop = heapq.heappop
+    heappush = heapq.heappush
 
     while heap:
-        ready, order, clause_index = heapq.heappop(heap)
-        clause = clauses[clause_index]
-        start = max(ready, free_at[clause.resource])
-        end = start + clause.occupancy
-        free_at[clause.resource] = end
-        busy[clause.resource] += clause.occupancy
-        next_ready = end + clause.latency
+        ready, order, clause_index = heappop(heap)
+        r_index, occupancy, latency = steps[clause_index]
+        free = free_by_index[r_index]
+        start = ready if ready >= free else free
+        end = start + occupancy
+        free_by_index[r_index] = end
+        busy_by_index[r_index] += occupancy
+        next_ready = end + latency
         if record is not None:
             record.append(
                 TraceEvent(
                     wavefront=order,
                     clause_index=clause_index,
-                    resource=clause.resource,
+                    resource=clauses[clause_index].resource,
                     ready=ready,
                     start=start,
                     end=end,
                     next_ready=next_ready,
                 )
             )
-        if clause_index + 1 < len(clauses):
-            heapq.heappush(heap, (next_ready, order, clause_index + 1))
+        if clause_index < last:
+            heappush(heap, (next_ready, order, clause_index + 1))
         else:
             completions.append(next_ready)
             if admitted < count:
-                heapq.heappush(heap, (next_ready, admitted, 0))
+                heappush(heap, (next_ready, admitted, 0))
                 admitted += 1
 
     completions.sort()
+    busy = {r: busy_by_index[index_of[r]] for r in members}
     return completions[-1], busy, completions

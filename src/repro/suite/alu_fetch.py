@@ -108,6 +108,12 @@ class ALUFetchBenchmark(MicroBenchmark):
             specs = [s for s in specs if s.gpu.chip != "RV670"]
         return specs
 
+    def kernel_key(self, value: float, spec: SeriesSpec) -> object:
+        # build_kernel depends on the ratio, mode and dtype (plus fixed
+        # constructor parameters) but not spec.gpu/spec.block: one kernel
+        # serves every GPU's series at a given sweep point.
+        return (value, spec.mode, spec.dtype)
+
     def build_kernel(self, value: float, spec: SeriesSpec) -> ILKernel:
         params = KernelParams(
             inputs=self.inputs,

@@ -89,6 +89,20 @@ class MicroBenchmark(abc.ABC):
     def build_kernel(self, value: float, spec: SeriesSpec) -> ILKernel:
         """The kernel measured at one sweep point of one series."""
 
+    def kernel_key(self, value: float, spec: SeriesSpec) -> object | None:
+        """Hashable identity of ``build_kernel(value, spec)``'s result.
+
+        Two sweep points whose keys compare equal are guaranteed (by the
+        subclass) to build content-identical kernels, so ``plan_units``
+        builds once and shares the object — downstream the shared
+        instance also collapses the IL-text rendering and the compile
+        into one apiece.  ``None`` (the default) disables sharing.  The
+        paper's generators never read ``spec.gpu`` or ``spec.block``, so
+        every benchmark keys on ``(mode, dtype)`` plus whatever of
+        ``value``/its own parameters the kernel body actually uses.
+        """
+        return None
+
     def series_specs(self, gpus: tuple[GPUSpec, ...]) -> list[SeriesSpec]:
         """Which series to measure (overridable per benchmark/figure)."""
         return standard_series(gpus)
@@ -115,14 +129,25 @@ class MicroBenchmark(abc.ABC):
         a byte-identical :class:`ResultSet`.  Kernels are built here —
         generation is cheap and the canonical IL text is the cache key's
         backbone — while compile+simulate is deferred to the engine.
+        Sweep points that :meth:`kernel_key` declares identical share one
+        kernel object (the domain sweep is one kernel × many launch
+        shapes; series differing only by GPU share everything).
         """
         from repro.jobs.units import WorkUnit
 
         gpus = gpus if gpus is not None else all_gpus()
         planned: list[tuple[SeriesSpec, float, ILKernel, WorkUnit]] = []
+        built: dict[object, ILKernel] = {}
         for spec in self.series_specs(gpus):
             for value in self.sweep_values(fast):
-                kernel = self.build_kernel(value, spec)
+                key = self.kernel_key(value, spec)
+                if key is None:
+                    kernel = self.build_kernel(value, spec)
+                else:
+                    kernel = built.get(key)
+                    if kernel is None:
+                        kernel = self.build_kernel(value, spec)
+                        built[key] = kernel
                 unit = WorkUnit(
                     figure=self.name,
                     series=spec.label,

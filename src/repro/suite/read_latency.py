@@ -59,6 +59,11 @@ class ReadLatencyBenchmark(MicroBenchmark):
     def sweep_values(self, fast: bool = False) -> list[float]:
         return [float(v) for v in (FAST_SWEEP if fast else INPUT_SWEEP)]
 
+    def kernel_key(self, value: float, spec: SeriesSpec) -> object:
+        # Input count, mode and dtype fully determine the kernel; the
+        # GPU does not participate, so series share sweep-point kernels.
+        return (value, spec.mode, spec.dtype)
+
     def build_kernel(self, value: float, spec: SeriesSpec) -> ILKernel:
         inputs = int(value)
         params = KernelParams(

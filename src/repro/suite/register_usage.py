@@ -102,6 +102,12 @@ class RegisterUsageBenchmark(MicroBenchmark):
     def series_specs(self, gpus: tuple[GPUSpec, ...]) -> list[SeriesSpec]:
         return standard_series(gpus, modes=self.modes, block=self.block)
 
+    def kernel_key(self, value: float, spec: SeriesSpec) -> object:
+        # The generators read only (step, mode, dtype) plus constructor
+        # parameters — never spec.gpu/spec.block — so all GPUs of one
+        # series grid share each sweep point's kernel.
+        return (value, spec.mode, spec.dtype)
+
     def build_kernel(self, value: float, spec: SeriesSpec) -> ILKernel:
         params = KernelParams(
             inputs=self.inputs,

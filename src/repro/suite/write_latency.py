@@ -77,6 +77,11 @@ class WriteLatencyBenchmark(MicroBenchmark):
             return standard_series(gpus, modes=(ShaderMode.PIXEL,))
         return standard_series(gpus)
 
+    def kernel_key(self, value: float, spec: SeriesSpec) -> object:
+        # Output count, mode and dtype fully determine the kernel; the
+        # GPU does not participate, so series share sweep-point kernels.
+        return (value, spec.mode, spec.dtype)
+
     def build_kernel(self, value: float, spec: SeriesSpec) -> ILKernel:
         params = KernelParams(
             inputs=self.inputs,

@@ -168,6 +168,44 @@ def hottest_spans_table(span_records: list[dict], top: int = 10) -> str:
 
 # ---- metric rendering --------------------------------------------------------
 
+#: the content-addressed caches whose hit/miss counters roll up into the
+#: "Cache traffic" section (docs/compile-cache.md, docs/jobs.md).
+_CACHE_FAMILIES = (
+    ("result cache", "jobs.cache"),
+    ("compile cache", "compile.cache"),
+    ("verify memo", "verify.memo"),
+)
+
+
+def cache_traffic_table(metric_records: list[dict]) -> str | None:
+    """Hit/miss totals and hit rates for the content-addressed caches.
+
+    Sums each family's counters across label sets (``jobs.cache.hit``
+    arrives per-figure, ``compile.cache.hit`` per-layer); returns
+    ``None`` when no cache saw traffic.
+    """
+    rows = []
+    for label, prefix in _CACHE_FAMILIES:
+        hits = misses = 0.0
+        for record in metric_records:
+            if record["kind"] != "counter":
+                continue
+            base = record["name"].split("{", 1)[0]
+            if base == f"{prefix}.hit":
+                hits += record["value"]
+            elif base == f"{prefix}.miss":
+                misses += record["value"]
+        total = hits + misses
+        if not total:
+            continue
+        rows.append(
+            (label, f"{hits:g}", f"{misses:g}", f"{hits / total:.1%}")
+        )
+    if not rows:
+        return None
+    return _table(("cache", "hits", "misses", "hit rate"), rows)
+
+
 def _metric_tables(metric_records: list[dict]) -> list[str]:
     sections: list[str] = []
     counters = [r for r in metric_records if r["kind"] == "counter"]
@@ -224,6 +262,9 @@ def summarize_manifest(records: list[dict], top: int = 10) -> str:
             f"Top {min(top, len(spans))} hottest spans:\n"
             + hottest_spans_table(spans, top=top)
         )
+    traffic = cache_traffic_table(metrics)
+    if traffic is not None:
+        sections.append("Cache traffic:\n" + traffic)
     sections.extend(_metric_tables(metrics))
     return "\n\n".join(sections)
 

@@ -19,6 +19,7 @@ reproducible and failures replayable.
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,15 +43,24 @@ def seeded_inputs(
     """Deterministic pseudo-random input arrays for ``kernel``.
 
     Values are drawn from ``[0.25, 1.75)`` — away from zero so RCP/LOG
-    stay finite and multiplicative chains do not collapse to 0.
+    stay finite and multiplicative chains do not collapse to 0.  All
+    inputs come from one batched draw: NumPy's Generator streams are
+    shape-agnostic, so ``uniform(size=(n, h, w, c))`` yields bitwise the
+    same values as ``n`` sequential ``(h, w, c)`` draws while paying the
+    RNG and float32-cast overhead once (the register-usage kernels have
+    64 inputs, so the per-array loop was a measurable verify cost).
     """
+    decls = kernel.inputs
+    if not decls:
+        return {}
     width, height = domain
     rng = np.random.default_rng(zlib.crc32(kernel.name.encode()))
-    shape = (height, width, kernel.dtype.components)
-    return {
-        decl.index: rng.uniform(0.25, 1.75, size=shape).astype(np.float32)
-        for decl in kernel.inputs
-    }
+    batch = rng.uniform(
+        0.25,
+        1.75,
+        size=(len(decls), height, width, kernel.dtype.components),
+    ).astype(np.float32)
+    return {decl.index: batch[i] for i, decl in enumerate(decls)}
 
 
 def seeded_constants(
@@ -62,6 +72,32 @@ def seeded_constants(
         decl.index: float(rng.uniform(0.25, 1.75))
         for decl in kernel.constants
     }
+
+
+@dataclass(frozen=True)
+class SeededCase:
+    """One kernel's deterministic test vector, shared across passes.
+
+    The pipeline runs up to three differential executions per compile
+    (DCE before/after, then IL vs ISA); the inputs depend only on the
+    kernel *name* and domain, so generating them once and passing the
+    case down halves the verification setup cost.
+    """
+
+    inputs: dict[int, np.ndarray]
+    constants: dict[int, float]
+    domain: tuple[int, int]
+
+
+def seeded_case(
+    kernel: ILKernel, domain: tuple[int, int] = DEFAULT_DOMAIN
+) -> SeededCase:
+    """Build the kernel's :class:`SeededCase` (inputs + constants)."""
+    return SeededCase(
+        inputs=seeded_inputs(kernel, domain),
+        constants=seeded_constants(kernel),
+        domain=domain,
+    )
 
 
 def _outputs_equal(
@@ -79,8 +115,14 @@ def check_il_pass(
     after: ILKernel,
     pass_name: str,
     domain: tuple[int, int] = DEFAULT_DOMAIN,
+    case: SeededCase | None = None,
 ) -> list[Diagnostic]:
-    """Validate one IL→IL pass: output stays valid, semantics unchanged."""
+    """Validate one IL→IL pass: output stays valid, semantics unchanged.
+
+    ``case`` supplies a pre-built test vector (see :func:`seeded_case`);
+    omitted, one is seeded from ``before`` — identical either way, since
+    passes preserve the kernel name the seed derives from.
+    """
     from repro.sim.functional import ExecutionError, execute_kernel
     from repro.verify.il_checks import check_kernel
     from repro.verify.diagnostics import errors
@@ -98,8 +140,9 @@ def check_il_pass(
         )
         return diags  # don't try to execute an invalid kernel
 
-    inputs = seeded_inputs(before, domain)
-    constants = seeded_constants(before)
+    if case is None:
+        case = seeded_case(before, domain)
+    inputs, constants = case.inputs, case.constants
     try:
         out_before = execute_kernel(before, inputs, domain, constants)
         out_after = execute_kernel(after, inputs, domain, constants)
@@ -130,13 +173,15 @@ def check_lowering(
     kernel: ILKernel,
     program: ISAProgram,
     domain: tuple[int, int] = DEFAULT_DOMAIN,
+    case: SeededCase | None = None,
 ) -> list[Diagnostic]:
     """Validate the full IL→ISA lowering by differential execution."""
     from repro.isa.interp import ISAExecutionError, execute_program
     from repro.sim.functional import ExecutionError, execute_kernel
 
-    inputs = seeded_inputs(kernel, domain)
-    constants = seeded_constants(kernel)
+    if case is None:
+        case = seeded_case(kernel, domain)
+    inputs, constants = case.inputs, case.constants
     try:
         il_out = execute_kernel(kernel, inputs, domain, constants)
         isa_out = execute_program(program, inputs, domain, constants)

@@ -19,11 +19,14 @@ suite and the test suite turn it on).
 
 from __future__ import annotations
 
+import hashlib
 import os
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro import telemetry
 from repro.compiler.errors import CompileError
 from repro.il.module import ILKernel
 from repro.isa.program import ISAProgram
@@ -152,7 +155,6 @@ def lint_kernel(kernel: ILKernel, gpu=None, options=None) -> LintReport:
     stages (the compiler's own validator would reject the kernel anyway,
     and V100 would merely duplicate the finding).
     """
-    from repro import telemetry
     from repro.compiler import pipeline
     from repro.verify.differential import check_lowering
     from repro.verify.il_checks import check_kernel
@@ -201,27 +203,62 @@ def lint_kernel(kernel: ILKernel, gpu=None, options=None) -> LintReport:
     return LintReport(kernel, tuple(diagnostics), program)
 
 
+#: memo of clean verification results, keyed on content (see below).
+#: Bounded so pathological sweeps cannot grow it without limit.
+_VERIFY_MEMO_CAPACITY = 1024
+_verify_memo: "OrderedDict[tuple, tuple[Diagnostic, ...]]" = OrderedDict()
+
+
+def clear_verify_memo() -> None:
+    """Drop memoized verification results (tests and long sessions)."""
+    _verify_memo.clear()
+
+
 def verify_compiled(
     kernel: ILKernel,
     program: ISAProgram,
     max_tex_per_clause: int = 8,
     max_alu_per_clause: int = 128,
+    case=None,
 ) -> list[Diagnostic]:
     """Post-lowering verification used by ``compile_kernel(verify=True)``.
 
     Returns all findings; raises :class:`VerificationError` if any is an
     error (warnings — dead ISA writes, oversized clauses — pass through
     for the caller to report).
+
+    Results are memoized on content — the program digest, the source
+    kernel's IL text, and the clause limits — so re-verifying an
+    unchanged program (sweeps that share one kernel across launch
+    shapes) is a dict probe instead of two functional executions.
+    Failures are never memoized; every caller sees the raise.  ``case``
+    optionally supplies a pre-built differential test vector (the
+    pipeline shares one across its passes).
     """
+    from repro.il.text import cached_il_text
+    from repro.isa.serialize import program_digest
     from repro.verify.differential import check_lowering
     from repro.verify.isa_checks import check_program
+
+    memo_key = (
+        program_digest(program),
+        hashlib.sha256(cached_il_text(kernel).encode()).hexdigest(),
+        max_tex_per_clause,
+        max_alu_per_clause,
+    )
+    cached = _verify_memo.get(memo_key)
+    if cached is not None:
+        _verify_memo.move_to_end(memo_key)
+        if telemetry.enabled():
+            telemetry.metrics().counter("verify.memo.hit").inc()
+        return list(cached)
 
     diagnostics = check_program(
         program,
         max_tex_per_clause=max_tex_per_clause,
         max_alu_per_clause=max_alu_per_clause,
     )
-    diagnostics.extend(check_lowering(kernel, program))
+    diagnostics.extend(check_lowering(kernel, program, case=case))
     broken = errors(diagnostics)
     if broken:
         raise VerificationError(
@@ -229,6 +266,11 @@ def verify_compiled(
             + "\n".join(f"  {d}" for d in broken),
             tuple(diagnostics),
         )
+    _verify_memo[memo_key] = tuple(diagnostics)
+    while len(_verify_memo) > _VERIFY_MEMO_CAPACITY:
+        _verify_memo.popitem(last=False)
+    if telemetry.enabled():
+        telemetry.metrics().counter("verify.memo.miss").inc()
     return diagnostics
 
 
@@ -236,6 +278,7 @@ __all__ = [
     "LintReport",
     "Severity",
     "VerificationError",
+    "clear_verify_memo",
     "default_verify",
     "lint_kernel",
     "set_default_verify",
